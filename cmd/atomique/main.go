@@ -1,0 +1,181 @@
+// Command atomique compiles a benchmark circuit for a reconfigurable atom
+// array and prints the compilation metrics: two-qubit gates, depth (movement
+// stages), SWAP overhead, movement distance, cooling events, execution time,
+// and the fidelity breakdown.
+//
+// Usage:
+//
+//	atomique -bench QAOA-regu5-40 [-slm 10] [-aods 2] [-aodsize 10]
+//	         [-serial] [-dense] [-relax 1,2,3] [-schedule] [-seed 7]
+//	atomique -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"atomique/internal/bench"
+	"atomique/internal/core"
+	"atomique/internal/fidelity"
+	"atomique/internal/hardware"
+	"atomique/internal/qasm"
+	"atomique/internal/viz"
+)
+
+func main() {
+	var (
+		name     = flag.String("bench", "QAOA-regu5-40", "benchmark name (see -list)")
+		qasmIn   = flag.String("qasm", "", "compile an OpenQASM 2.0 file instead of a benchmark")
+		emit     = flag.String("emit", "", "write the selected benchmark as OpenQASM 2.0 to this file and exit ('-' for stdout)")
+		list     = flag.Bool("list", false, "list available benchmarks and exit")
+		slm      = flag.Int("slm", 10, "SLM array side length")
+		aods     = flag.Int("aods", 2, "number of AOD arrays")
+		aodSize  = flag.Int("aodsize", 10, "AOD array side length")
+		seed     = flag.Int64("seed", 7, "compilation seed")
+		serial   = flag.Bool("serial", false, "ablate: serial router (one gate per stage)")
+		dense    = flag.Bool("dense", false, "ablate: round-robin array mapper")
+		relax    = flag.String("relax", "", "comma-separated constraints to relax (1,2,3)")
+		schedule = flag.Bool("schedule", false, "print the movement/gate schedule")
+		vizFlag  = flag.Bool("viz", false, "render placement + stage diagrams")
+		jsonOut  = flag.String("json", "", "export the schedule as JSON to this file ('-' for stdout)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, b := range bench.Table2Suite() {
+			s := b.Circ.ComputeStats()
+			fmt.Printf("%-20s %-8s %3d qubits  %5d 2Q  %5d 1Q\n",
+				b.Name, b.Type, s.Qubits, s.Num2Q, s.Num1Q)
+		}
+		return
+	}
+
+	var circ *bench.Benchmark
+	if *qasmIn != "" {
+		f, err := os.Open(*qasmIn)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "atomique: %v\n", err)
+			os.Exit(1)
+		}
+		parsed, err := qasm.Parse(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "atomique: %v\n", err)
+			os.Exit(1)
+		}
+		circ = &bench.Benchmark{Name: *qasmIn, Type: "QASM", Circ: parsed}
+	} else {
+		for _, b := range bench.Table2Suite() {
+			if strings.EqualFold(b.Name, *name) {
+				bb := b
+				circ = &bb
+				break
+			}
+		}
+		if circ == nil {
+			fmt.Fprintf(os.Stderr, "atomique: unknown benchmark %q (try -list)\n", *name)
+			os.Exit(1)
+		}
+	}
+
+	if *emit != "" {
+		out := os.Stdout
+		if *emit != "-" {
+			f, err := os.Create(*emit)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "atomique: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := qasm.Write(out, circ.Circ); err != nil {
+			fmt.Fprintf(os.Stderr, "atomique: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	cfg := hardware.Config{
+		SLM:    hardware.ArraySpec{Rows: *slm, Cols: *slm},
+		Params: hardware.NeutralAtom(),
+	}
+	for i := 0; i < *aods; i++ {
+		cfg.AODs = append(cfg.AODs, hardware.ArraySpec{Rows: *aodSize, Cols: *aodSize})
+	}
+	opts := core.Options{Seed: *seed, SerialRouter: *serial, DenseMapper: *dense}
+	for _, r := range strings.Split(*relax, ",") {
+		switch strings.TrimSpace(r) {
+		case "1":
+			opts.RelaxAddressing = true
+		case "2":
+			opts.RelaxOrder = true
+		case "3":
+			opts.RelaxOverlap = true
+		case "":
+		default:
+			fmt.Fprintf(os.Stderr, "atomique: bad -relax entry %q\n", r)
+			os.Exit(1)
+		}
+	}
+
+	res, err := core.Compile(cfg, circ.Circ, opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "atomique: %v\n", err)
+		os.Exit(1)
+	}
+	m := res.Metrics
+	fmt.Printf("benchmark        %s (%d qubits, %d 2Q + %d 1Q gates)\n",
+		circ.Name, circ.Circ.N, circ.Circ.Num2Q(), circ.Circ.Num1Q())
+	fmt.Printf("machine          %dx%d SLM + %d x %dx%d AOD\n",
+		*slm, *slm, *aods, *aodSize, *aodSize)
+	fmt.Printf("2Q executed      %d (swaps inserted: %d, +%d CNOT)\n",
+		m.N2Q, m.SwapCount, m.AddedCNOTs)
+	fmt.Printf("depth (stages)   %d   max parallel gates: %d\n",
+		m.Depth2Q, res.Schedule.MaxParallelism())
+	fmt.Printf("movement         %.3f mm total, %d cooling events, %d overlap rejections\n",
+		m.TotalMoveDist*1e3, m.CoolingEvents, m.Overlaps)
+	fmt.Printf("execution time   %.4f s\n", m.ExecutionTime)
+	fmt.Printf("compile time     %v\n", m.CompileTime)
+	fmt.Printf("fidelity         %.4f\n", m.FidelityTotal())
+	labels := fidelity.Labels()
+	for i, v := range m.Fidelity.NegLog() {
+		fmt.Printf("  -log10 %-18s %.4g\n", labels[i], v)
+	}
+
+	if *schedule {
+		fmt.Println()
+		for i, st := range res.Schedule.Stages {
+			fmt.Printf("stage %4d: %d 1Q, %d moves, %d 2Q gates\n",
+				i, len(st.OneQ), len(st.Moves), len(st.Gates))
+			for _, g := range st.Gates {
+				fmt.Printf("  %s %s <-> %s\n", g.Op,
+					res.SiteOf[g.SlotA], res.SiteOf[g.SlotB])
+			}
+		}
+	}
+
+	if *vizFlag {
+		fmt.Println()
+		viz.Summary(os.Stdout, cfg, res)
+	}
+
+	if *jsonOut != "" {
+		out := os.Stdout
+		if *jsonOut != "-" {
+			f, err := os.Create(*jsonOut)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "atomique: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := core.ExportJSON(out, cfg, res); err != nil {
+			fmt.Fprintf(os.Stderr, "atomique: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,52 @@
+// Quickstart: build a small circuit by hand, compile it with Atomique for
+// the default reconfigurable atom array (10x10 SLM + two 10x10 AODs), and
+// inspect the schedule the router produced.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"atomique/internal/circuit"
+	"atomique/internal/core"
+	"atomique/internal/hardware"
+)
+
+func main() {
+	// A GHZ state over 8 qubits followed by a ring of ZZ interactions.
+	c := circuit.New(8)
+	c.H(0)
+	for i := 1; i < 8; i++ {
+		c.CX(i-1, i)
+	}
+	for i := 0; i < 8; i++ {
+		c.ZZ(i, (i+1)%8, 0.42)
+	}
+
+	cfg := hardware.DefaultConfig()
+	res, err := core.Compile(cfg, c, core.Options{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	m := res.Metrics
+	fmt.Printf("compiled %d gates onto %d arrays\n", c.NumGates(), cfg.NumArrays())
+	fmt.Printf("  qubit -> array assignment: %v\n", res.ArrayOf)
+	fmt.Printf("  2Q executed: %d (%d SWAPs inserted)\n", m.N2Q, m.SwapCount)
+	fmt.Printf("  depth: %d movement stages, max %d parallel gates\n",
+		m.Depth2Q, res.Schedule.MaxParallelism())
+	fmt.Printf("  movement: %.1f um total\n", m.TotalMoveDist*1e6)
+	fmt.Printf("  estimated fidelity: %.4f\n", m.FidelityTotal())
+	fmt.Println()
+
+	for i, st := range res.Schedule.Stages {
+		if len(st.Gates) == 0 {
+			continue
+		}
+		fmt.Printf("stage %2d:", i)
+		for _, g := range st.Gates {
+			fmt.Printf("  %s@%s-%s", g.Op, res.SiteOf[g.SlotA], res.SiteOf[g.SlotB])
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,52 @@
+// Topology explorer: how machine geometry shapes compilation quality.
+// Sweeps the number of AOD arrays and the array aspect ratio for a fixed
+// workload, reproducing the design-space walk of Fig 20 — square arrays
+// minimise movement; extra AOD arrays enrich the coupling map.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"atomique/internal/bench"
+	"atomique/internal/circuit"
+	"atomique/internal/core"
+	"atomique/internal/hardware"
+	"atomique/internal/metrics"
+)
+
+func main() {
+	workload := bench.QSimRandom(40, 10, 0.5, 42)
+	fmt.Println("workload: QSim-rand-40 (10 Pauli strings, p=0.5)")
+
+	fmt.Println("\n-- number of AOD arrays (10x10 each) --")
+	fmt.Printf("%-6s %-8s %-8s %-12s %-10s\n", "AODs", "2Q", "depth", "move(mm)", "fidelity")
+	for n := 1; n <= 5; n++ {
+		m := compile(hardware.SquareConfig(10, n), workload)
+		fmt.Printf("%-6d %-8d %-8d %-12.3f %-10.4f\n",
+			n, m.N2Q, m.Depth2Q, m.TotalMoveDist*1e3, m.FidelityTotal())
+	}
+
+	fmt.Println("\n-- array shape at ~48 sites per array (2 AODs) --")
+	fmt.Printf("%-8s %-8s %-8s %-12s %-10s\n", "shape", "2Q", "depth", "move(mm)", "fidelity")
+	for _, shape := range [][2]int{{24, 2}, {16, 3}, {12, 4}, {8, 6}, {7, 7}} {
+		spec := hardware.ArraySpec{Rows: shape[0], Cols: shape[1]}
+		cfg := hardware.Config{
+			SLM:    spec,
+			AODs:   []hardware.ArraySpec{spec, spec},
+			Params: hardware.NeutralAtom(),
+		}
+		m := compile(cfg, workload)
+		fmt.Printf("%dx%-6d %-8d %-8d %-12.3f %-10.4f\n",
+			shape[0], shape[1], m.N2Q, m.Depth2Q, m.TotalMoveDist*1e3, m.FidelityTotal())
+	}
+	fmt.Println("\nexpected shape: fidelity peaks near square arrays and grows with AOD count.")
+}
+
+func compile(cfg hardware.Config, c *circuit.Circuit) metrics.Compiled {
+	res, err := core.Compile(cfg, c, core.Options{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res.Metrics
+}

@@ -1,0 +1,111 @@
+package arch
+
+import (
+	"testing"
+
+	"atomique/internal/bench"
+	"atomique/internal/circuit"
+)
+
+func TestBaselinesCompileGHZ(t *testing.T) {
+	c := bench.GHZ(16)
+	for _, a := range Baselines(c.N) {
+		m, err := Compile(a, c, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", a.Name, err)
+		}
+		if m.N2Q < c.Num2Q() {
+			t.Errorf("%s executed %d 2Q < source %d", a.Name, m.N2Q, c.Num2Q())
+		}
+		if m.FidelityTotal() <= 0 || m.FidelityTotal() > 1 {
+			t.Errorf("%s fidelity %v out of range", a.Name, m.FidelityTotal())
+		}
+		if m.Depth2Q == 0 {
+			t.Errorf("%s zero depth", a.Name)
+		}
+	}
+}
+
+func TestZZDecompositionOnlyOnSuperconducting(t *testing.T) {
+	c := circuit.New(4)
+	c.ZZ(0, 1, 0.3)
+	c.ZZ(2, 3, 0.3)
+
+	sc, err := Compile(Superconducting(), c, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each ZZ becomes 2 CX (plus any swap overhead).
+	if sc.N2Q < 4 {
+		t.Errorf("superconducting 2Q = %d, want >= 4 (ZZ decomposed)", sc.N2Q)
+	}
+	faa, err := Compile(FAARectangular(4), c, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faa.N2Q-3*faa.SwapCount != 2 {
+		t.Errorf("FAA native ZZ count = %d, want 2", faa.N2Q-3*faa.SwapCount)
+	}
+}
+
+func TestTopologyRichnessOrdering(t *testing.T) {
+	// On a connectivity-heavy workload, triangular and long-range should not
+	// need more swaps than rectangular.
+	c := bench.QAOARandom(25, 0.5, 3)
+	rect, err := Compile(FAARectangular(c.N), c, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tri, err := Compile(FAATriangular(c.N), c, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lr, err := Compile(BakerLongRange(c.N), c, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tri.SwapCount > rect.SwapCount {
+		t.Errorf("triangular swaps %d > rectangular %d", tri.SwapCount, rect.SwapCount)
+	}
+	if lr.SwapCount > rect.SwapCount {
+		t.Errorf("long-range swaps %d > rectangular %d", lr.SwapCount, rect.SwapCount)
+	}
+}
+
+func TestSuperconductingDecoherenceDominates(t *testing.T) {
+	// Same gate fidelities, but superconducting coherence is ~2000x shorter:
+	// on a deep circuit its fidelity must be far below FAA's.
+	c := bench.QSimRandom(20, 10, 0.5, 6)
+	sc, err := Compile(Superconducting(), c, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faa, err := Compile(FAARectangular(c.N), c, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.FidelityTotal() >= faa.FidelityTotal() {
+		t.Errorf("superconducting fidelity %v >= FAA %v",
+			sc.FidelityTotal(), faa.FidelityTotal())
+	}
+}
+
+func TestCompileRejectsOversized(t *testing.T) {
+	c := circuit.New(200)
+	if _, err := Compile(Superconducting(), c, 1); err == nil {
+		t.Errorf("200-qubit circuit accepted on 127-qubit device")
+	}
+}
+
+func TestGridFor(t *testing.T) {
+	cases := []struct{ n, wantMin int }{{1, 1}, {10, 10}, {100, 100}, {17, 17}}
+	for _, tc := range cases {
+		r, c := gridFor(tc.n)
+		if r*c < tc.n {
+			t.Errorf("gridFor(%d) = %dx%d too small", tc.n, r, c)
+		}
+		if r*c > tc.n+r {
+			t.Errorf("gridFor(%d) = %dx%d too generous", tc.n, r, c)
+		}
+	}
+}

@@ -1,0 +1,40 @@
+package bench
+
+import (
+	"math"
+	"math/rand"
+
+	"atomique/internal/circuit"
+	"atomique/internal/graphs"
+)
+
+// Arbitrary returns a random "generic" circuit with controlled interaction
+// statistics, the workload of Figs 15 and 21: each qubit interacts with
+// `degree` distinct partners (the interaction graph is degree-regular) and
+// participates in ~gatesPerQubit two-qubit gates, drawn uniformly over the
+// interaction edges. A sparse sprinkling of one-qubit rotations (one per
+// four two-qubit gates) keeps the circuit generic.
+func Arbitrary(n, gatesPerQubit, degree int, seed int64) *circuit.Circuit {
+	if degree >= n {
+		panic("bench: Arbitrary degree must be < n")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	d := degree
+	if (n*d)%2 != 0 {
+		d++ // regular graphs need n*d even; round the degree up
+		if d >= n {
+			d -= 2
+		}
+	}
+	edges := graphs.RegularGraph(n, d, rng)
+	c := circuit.New(n)
+	total2Q := n * gatesPerQubit / 2
+	for g := 0; g < total2Q; g++ {
+		e := edges[rng.Intn(len(edges))]
+		c.CZ(e.A, e.B)
+		if g%4 == 3 {
+			c.RZ(rng.Intn(n), rng.Float64()*2*math.Pi)
+		}
+	}
+	return c
+}

@@ -1,0 +1,131 @@
+package bench
+
+import (
+	"math"
+
+	"atomique/internal/circuit"
+)
+
+// QFT returns the n-qubit quantum Fourier transform in the standard
+// H + controlled-phase ladder decomposition (each controlled phase = one CZ
+// plus two RZ corrections at the counting level used throughout this repo),
+// with the closing SWAP network expanded into CX triplets.
+func QFT(n int) *circuit.Circuit {
+	c := circuit.New(n)
+	for i := 0; i < n; i++ {
+		c.H(i)
+		for j := i + 1; j < n; j++ {
+			theta := math.Pi / float64(int(1)<<uint(j-i))
+			c.RZ(i, theta/2)
+			c.RZ(j, theta/2)
+			c.CZ(j, i)
+		}
+	}
+	for i := 0; i < n/2; i++ {
+		a, b := i, n-1-i
+		c.CX(a, b)
+		c.CX(b, a)
+		c.CX(a, b)
+	}
+	return c
+}
+
+// WState returns an n-qubit W-state preparation circuit using the standard
+// cascade of controlled rotations (each expanded to RY + CX + RY + CX) and
+// CX chain.
+func WState(n int) *circuit.Circuit {
+	if n < 2 {
+		panic("bench: WState needs >= 2 qubits")
+	}
+	c := circuit.New(n)
+	c.X(0)
+	for i := 0; i < n-1; i++ {
+		theta := 2 * math.Acos(math.Sqrt(1/float64(n-i)))
+		// Controlled-RY(theta) from qubit i onto i+1.
+		c.RY(i+1, theta/2)
+		c.CX(i, i+1)
+		c.RY(i+1, -theta/2)
+		c.CX(i, i+1)
+		// Shift the excitation.
+		c.CX(i+1, i)
+	}
+	return c
+}
+
+// Grover returns `iterations` Grover rounds over n search qubits with a
+// phase oracle marking the all-ones state. The multi-controlled Z is exact,
+// built from a Toffoli ladder into n-2 ancilla qubits (compute, CZ apex,
+// uncompute), matching QASMBench's ancilla-based grover_nN circuits; the
+// returned circuit spans n + max(0, n-2) qubits (search qubits first).
+func Grover(n, iterations int) *circuit.Circuit {
+	if n < 2 {
+		panic("bench: Grover needs >= 2 search qubits")
+	}
+	anc := n - 2
+	c := circuit.New(n + anc)
+	for q := 0; q < n; q++ {
+		c.H(q)
+	}
+	mcz := func() {
+		if n == 2 {
+			c.CZ(0, 1)
+			return
+		}
+		// Compute AND chain into ancillas n..n+anc-1.
+		toffoli(c, 0, 1, n)
+		for i := 1; i < anc; i++ {
+			toffoli(c, i+1, n+i-1, n+i)
+		}
+		c.CZ(n+anc-1, n-1)
+		for i := anc - 1; i >= 1; i-- {
+			toffoli(c, i+1, n+i-1, n+i)
+		}
+		toffoli(c, 0, 1, n)
+	}
+	for it := 0; it < iterations; it++ {
+		mcz() // oracle: phase flip |1...1>
+		for q := 0; q < n; q++ {
+			c.H(q)
+			c.X(q)
+		}
+		mcz() // diffusion apex
+		for q := 0; q < n; q++ {
+			c.X(q)
+			c.H(q)
+		}
+	}
+	return c
+}
+
+// QPE returns a quantum-phase-estimation circuit with `clock` counting
+// qubits over a single-qubit unitary (RZ by phi): controlled-U^(2^k)
+// ladders followed by an inverse QFT on the clock register.
+func QPE(clock int, phi float64) *circuit.Circuit {
+	n := clock + 1
+	c := circuit.New(n)
+	target := clock
+	c.X(target)
+	for q := 0; q < clock; q++ {
+		c.H(q)
+	}
+	for q := 0; q < clock; q++ {
+		reps := 1 << uint(q)
+		// Controlled-RZ(phi*reps) decomposed as RZ/CX/RZ/CX.
+		theta := phi * float64(reps)
+		c.RZ(target, theta/2)
+		c.CX(q, target)
+		c.RZ(target, -theta/2)
+		c.CX(q, target)
+	}
+	// Inverse QFT on the clock (same gate counts as QFT).
+	for i := clock - 1; i >= 0; i-- {
+		for j := clock - 1; j > i; j-- {
+			theta := -math.Pi / float64(int(1)<<uint(j-i))
+			c.RZ(i, theta/2)
+			c.RZ(j, theta/2)
+			c.CZ(j, i)
+		}
+		c.H(i)
+	}
+	return c
+}

@@ -1,0 +1,69 @@
+package bench
+
+import "atomique/internal/circuit"
+
+// Benchmark is a named workload with its Table II category.
+type Benchmark struct {
+	Name string
+	Type string // "Generic", "QSim", or "QAOA"
+	Circ *circuit.Circuit
+}
+
+// Fig13Suite returns the 17 benchmarks of the paper's main comparison
+// (Fig 13), regenerated from fixed seeds.
+func Fig13Suite() []Benchmark {
+	return []Benchmark{
+		{"HHL-7", "Generic", HHL(7, 2, 1)},
+		{"Mermin-Bell-10", "Generic", MerminBell(10, 58, 2)},
+		{"QV-32", "Generic", QV(32, 32, 3)},
+		{"BV-50", "Generic", BV(50, 22, 4)},
+		{"BV-70", "Generic", BV(70, 36, 5)},
+		{"QSim-rand-20", "QSim", QSimRandom(20, 10, 0.5, 6)},
+		{"QSim-rand-40", "QSim", QSimRandom(40, 10, 0.5, 7)},
+		{"QSim-rand-20-p0.3", "QSim", QSimRandom(20, 10, 0.3, 8)},
+		{"QSim-rand-40-p0.3", "QSim", QSimRandom(40, 10, 0.3, 9)},
+		{"H2-4", "QSim", H2()},
+		{"LiH-8", "QSim", LiH(8, 10)},
+		{"QAOA-rand-10", "QAOA", QAOARandom(10, 0.5, 11)},
+		{"QAOA-rand-20", "QAOA", QAOARandom(20, 0.5, 12)},
+		{"QAOA-rand-30", "QAOA", QAOARandom(30, 0.5, 13)},
+		{"QAOA-rand-50", "QAOA", QAOARandom(50, 0.5, 14)},
+		{"QAOA-regu5-40", "QAOA", QAOARegular(40, 5, 15)},
+		{"QAOA-regu6-100", "QAOA", QAOARegular(100, 6, 16)},
+	}
+}
+
+// Fig14Suite returns the small benchmarks used against the solver-based
+// compilers (Fig 14); Tan-Solver is feasible only at this scale.
+func Fig14Suite() []Benchmark {
+	return []Benchmark{
+		{"Mermin-Bell-5", "Generic", MerminBell(5, 15, 21)},
+		{"VQE-10", "Generic", VQE(10, 22)},
+		{"VQE-20", "Generic", VQE(20, 23)},
+		{"Adder-10", "Generic", Adder(10)},
+		{"BV-14", "Generic", BV(14, 13, 24)},
+		{"QSim-rand-5", "QSim", QSimRandom(5, 10, 0.5, 25)},
+		{"QSim-rand-10", "QSim", QSimRandom(10, 10, 0.5, 26)},
+		{"H2-4", "QSim", H2()},
+		{"QAOA-rand-5", "QAOA", QAOARandom(5, 0.5, 27)},
+		{"QAOA-regu3-20", "QAOA", QAOARegular(20, 3, 28)},
+		{"QAOA-regu4-10", "QAOA", QAOARegular(10, 4, 29)},
+	}
+}
+
+// Table2Suite returns every benchmark of Table II (the union of the Fig 13
+// and Fig 14 suites, large circuits first, deduplicated).
+func Table2Suite() []Benchmark {
+	out := Fig13Suite()
+	seen := map[string]bool{}
+	for _, b := range out {
+		seen[b.Name] = true
+	}
+	for _, b := range Fig14Suite() {
+		if !seen[b.Name] {
+			out = append(out, b)
+			seen[b.Name] = true
+		}
+	}
+	return out
+}

@@ -1,0 +1,230 @@
+package circuit
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddValidation(t *testing.T) {
+	c := New(3)
+	c.H(0)
+	c.CX(0, 1)
+	if got := c.NumGates(); got != 2 {
+		t.Fatalf("NumGates = %d, want 2", got)
+	}
+	mustPanic(t, func() { c.H(3) })
+	mustPanic(t, func() { c.CX(0, 0) })
+	mustPanic(t, func() { c.CX(-1, 1) })
+	mustPanic(t, func() { New(-1) })
+}
+
+func mustPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	f()
+}
+
+func TestOneQubitGateNormalisesQ1(t *testing.T) {
+	c := New(2)
+	c.Add(Gate{Op: OpH, Q0: 1, Q1: 7}) // bogus Q1 must be ignored for 1Q ops
+	if c.Gates[0].Q1 != -1 {
+		t.Fatalf("Q1 = %d, want -1", c.Gates[0].Q1)
+	}
+}
+
+func TestCounts(t *testing.T) {
+	c := New(4)
+	c.H(0)
+	c.H(1)
+	c.CX(0, 1)
+	c.CZ(1, 2)
+	c.ZZ(2, 3, 0.5)
+	c.RZ(3, 0.1)
+	if got := c.Num2Q(); got != 3 {
+		t.Errorf("Num2Q = %d, want 3", got)
+	}
+	if got := c.Num1Q(); got != 3 {
+		t.Errorf("Num1Q = %d, want 3", got)
+	}
+}
+
+func TestTwoQubitPerQubitAndDegrees(t *testing.T) {
+	c := New(3)
+	c.CX(0, 1)
+	c.CX(0, 1)
+	c.CX(1, 2)
+	per := c.TwoQubitPerQubit()
+	want := []int{2, 3, 1}
+	for i := range want {
+		if per[i] != want[i] {
+			t.Errorf("TwoQubitPerQubit[%d] = %d, want %d", i, per[i], want[i])
+		}
+	}
+	deg := c.Degrees()
+	wantDeg := []int{1, 2, 1}
+	for i := range wantDeg {
+		if deg[i] != wantDeg[i] {
+			t.Errorf("Degrees[%d] = %d, want %d", i, deg[i], wantDeg[i])
+		}
+	}
+}
+
+func TestLayersASAP(t *testing.T) {
+	c := New(4)
+	c.CX(0, 1) // layer 0
+	c.CX(2, 3) // layer 0
+	c.CX(1, 2) // layer 1
+	c.H(0)     // layer 1
+	layerOf, n := c.Layers()
+	wantLayers := []int{0, 0, 1, 1}
+	for i := range wantLayers {
+		if layerOf[i] != wantLayers[i] {
+			t.Errorf("layer[%d] = %d, want %d", i, layerOf[i], wantLayers[i])
+		}
+	}
+	if n != 2 {
+		t.Errorf("numLayers = %d, want 2", n)
+	}
+}
+
+func TestDepth2QIgnores1Q(t *testing.T) {
+	c := New(3)
+	c.CX(0, 1)
+	c.H(1) // should not add a 2Q layer, but orders the next gate
+	c.CX(1, 2)
+	if d := c.Depth2Q(); d != 2 {
+		t.Errorf("Depth2Q = %d, want 2", d)
+	}
+	if d := c.Depth(); d != 3 {
+		t.Errorf("Depth = %d, want 3", d)
+	}
+}
+
+func TestNum1QLayers(t *testing.T) {
+	c := New(2)
+	c.H(0)
+	c.H(1) // same layer
+	c.CX(0, 1)
+	c.H(0) // new layer
+	if got := c.Num1QLayers(); got != 2 {
+		t.Errorf("Num1QLayers = %d, want 2", got)
+	}
+}
+
+func TestInteractionWeights(t *testing.T) {
+	c := New(3)
+	c.CX(1, 0)
+	c.CX(0, 1)
+	c.CZ(1, 2)
+	w := c.InteractionWeights()
+	if w[[2]int{0, 1}] != 2 {
+		t.Errorf("weight(0,1) = %d, want 2", w[[2]int{0, 1}])
+	}
+	if w[[2]int{1, 2}] != 1 {
+		t.Errorf("weight(1,2) = %d, want 1", w[[2]int{1, 2}])
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	c := New(2)
+	c.H(0)
+	d := c.Clone()
+	d.CX(0, 1)
+	if c.NumGates() != 1 || d.NumGates() != 2 {
+		t.Fatalf("clone not independent: %d vs %d", c.NumGates(), d.NumGates())
+	}
+}
+
+// randomCircuit builds a random circuit for property tests.
+func randomCircuit(rng *rand.Rand, n, gates int) *Circuit {
+	c := New(n)
+	for i := 0; i < gates; i++ {
+		if rng.Intn(2) == 0 || n < 2 {
+			c.Add1Q(OpH, rng.Intn(n), 0)
+		} else {
+			a := rng.Intn(n)
+			b := rng.Intn(n - 1)
+			if b >= a {
+				b++
+			}
+			c.CX(a, b)
+		}
+	}
+	return c
+}
+
+// Property: the ASAP layering never places two gates sharing a qubit in the
+// same layer, and layer indices are monotone along each qubit's gate chain.
+func TestLayersProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := randomCircuit(rng, 2+rng.Intn(8), 1+rng.Intn(60))
+		layerOf, _ := c.Layers()
+		lastLayer := make([]int, c.N)
+		for i := range lastLayer {
+			lastLayer[i] = -1
+		}
+		for i, g := range c.Gates {
+			for _, q := range g.Qubits() {
+				if layerOf[i] <= lastLayer[q] {
+					return false
+				}
+				lastLayer[q] = layerOf[i]
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Depth2Q <= Depth and Depth <= NumGates.
+func TestDepthBoundsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := randomCircuit(rng, 2+rng.Intn(6), 1+rng.Intn(50))
+		return c.Depth2Q() <= c.Depth() && c.Depth() <= c.NumGates()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStats(t *testing.T) {
+	c := New(2)
+	c.H(0)
+	c.CX(0, 1)
+	s := c.ComputeStats()
+	if s.Qubits != 2 || s.Num2Q != 1 || s.Num1Q != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.TwoQPerQ != 1.0 {
+		t.Errorf("TwoQPerQ = %v, want 1.0", s.TwoQPerQ)
+	}
+	if s.DegreePerQ != 1.0 {
+		t.Errorf("DegreePerQ = %v, want 1.0", s.DegreePerQ)
+	}
+}
+
+func TestOpString(t *testing.T) {
+	cases := map[Op]string{OpH: "h", OpCX: "cx", OpZZ: "zz", Op(99): "op(99)"}
+	for op, want := range cases {
+		if got := op.String(); got != want {
+			t.Errorf("Op(%d).String() = %q, want %q", int(op), got, want)
+		}
+	}
+	g := Gate{Op: OpCX, Q0: 0, Q1: 1}
+	if g.String() != "cx q0,q1" {
+		t.Errorf("gate string = %q", g.String())
+	}
+	h := Gate{Op: OpH, Q0: 2, Q1: -1}
+	if h.String() != "h q2" {
+		t.Errorf("gate string = %q", h.String())
+	}
+}

@@ -1,0 +1,112 @@
+package circuit
+
+// DAG is a dependency view of a circuit: gate i depends on gate j when they
+// share a qubit and j precedes i with no intervening gate on that qubit.
+// It is immutable once built; use NewFrontier for a consumable front-layer
+// traversal (what the routers iterate on).
+type DAG struct {
+	circ *Circuit
+	succ [][]int
+	pred [][]int
+}
+
+// NewDAG builds the dependency DAG of c.
+func NewDAG(c *Circuit) *DAG {
+	d := &DAG{
+		circ: c,
+		succ: make([][]int, len(c.Gates)),
+		pred: make([][]int, len(c.Gates)),
+	}
+	last := make([]int, c.N) // last gate index seen per qubit
+	for i := range last {
+		last[i] = -1
+	}
+	for i, g := range c.Gates {
+		for _, q := range g.Qubits() {
+			if p := last[q]; p >= 0 {
+				d.succ[p] = append(d.succ[p], i)
+				d.pred[i] = append(d.pred[i], p)
+			}
+			last[q] = i
+		}
+	}
+	return d
+}
+
+// Circuit returns the underlying circuit.
+func (d *DAG) Circuit() *Circuit { return d.circ }
+
+// Successors returns the gate indices that directly depend on gate i.
+func (d *DAG) Successors(i int) []int { return d.succ[i] }
+
+// Predecessors returns the gate indices gate i directly depends on.
+func (d *DAG) Predecessors(i int) []int { return d.pred[i] }
+
+// Frontier is a consumable traversal of a circuit DAG: Front returns the
+// currently independent ("frontier") gates, Execute retires one of them and
+// releases its dependents. Routers drive compilation by repeatedly executing
+// frontier gates until Done.
+type Frontier struct {
+	dag    *DAG
+	indeg  []int
+	front  []int
+	inFrnt []bool
+	done   []bool
+	left   int
+}
+
+// NewFrontier returns a fresh traversal over the DAG.
+func NewFrontier(d *DAG) *Frontier {
+	f := &Frontier{
+		dag:    d,
+		indeg:  make([]int, len(d.circ.Gates)),
+		inFrnt: make([]bool, len(d.circ.Gates)),
+		done:   make([]bool, len(d.circ.Gates)),
+		left:   len(d.circ.Gates),
+	}
+	for i := range d.circ.Gates {
+		f.indeg[i] = len(d.pred[i])
+		if f.indeg[i] == 0 {
+			f.front = append(f.front, i)
+			f.inFrnt[i] = true
+		}
+	}
+	return f
+}
+
+// Front returns the current frontier in ascending gate order. The returned
+// slice is owned by the Frontier; callers must not mutate it.
+func (f *Frontier) Front() []int { return f.front }
+
+// Gate returns the gate at index i.
+func (f *Frontier) Gate(i int) Gate { return f.dag.circ.Gates[i] }
+
+// Execute retires frontier gate i, unlocking its successors. It panics if i
+// is not currently independent (a routing-logic bug, not a user error).
+func (f *Frontier) Execute(i int) {
+	if !f.inFrnt[i] || f.done[i] {
+		panic("circuit: Execute on non-frontier gate")
+	}
+	f.done[i] = true
+	f.left--
+	// Remove from front slice.
+	for k, g := range f.front {
+		if g == i {
+			f.front = append(f.front[:k], f.front[k+1:]...)
+			break
+		}
+	}
+	for _, s := range f.dag.succ[i] {
+		f.indeg[s]--
+		if f.indeg[s] == 0 {
+			f.front = append(f.front, s)
+			f.inFrnt[s] = true
+		}
+	}
+}
+
+// Done reports whether every gate has been executed.
+func (f *Frontier) Done() bool { return f.left == 0 }
+
+// Remaining returns the count of unexecuted gates.
+func (f *Frontier) Remaining() int { return f.left }

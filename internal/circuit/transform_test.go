@@ -1,0 +1,56 @@
+package circuit
+
+import (
+	"testing"
+)
+
+func TestAppend(t *testing.T) {
+	a := New(3)
+	a.H(0)
+	b := New(2)
+	b.CX(0, 1)
+	a.Append(b)
+	if a.NumGates() != 2 {
+		t.Fatalf("gates = %d, want 2", a.NumGates())
+	}
+	wide := New(5)
+	wide.H(4)
+	mustPanic(t, func() { a.Append(wide) })
+}
+
+func TestInverseStructure(t *testing.T) {
+	c := New(2)
+	c.H(0)
+	c.RZ(1, 0.5)
+	c.CX(0, 1)
+	c.Add1Q(OpS, 0, 0)
+	inv := c.Inverse()
+	if inv.NumGates() != 4 {
+		t.Fatalf("inverse gates = %d, want 4", inv.NumGates())
+	}
+	// Reversed order: first inverse gate inverts the last original (S).
+	if inv.Gates[0].Op != OpRZ {
+		t.Errorf("S inverse = %v, want rz", inv.Gates[0].Op)
+	}
+	if inv.Gates[1].Op != OpCX {
+		t.Errorf("order not reversed: %v", inv.Gates[1].Op)
+	}
+	if inv.Gates[2].Op != OpRZ || inv.Gates[2].Param != -0.5 {
+		t.Errorf("RZ not negated: %+v", inv.Gates[2])
+	}
+}
+
+func TestRemap(t *testing.T) {
+	c := New(2)
+	c.CX(0, 1)
+	r := c.Remap(4, []int{3, 1})
+	if r.N != 4 {
+		t.Fatalf("N = %d", r.N)
+	}
+	if r.Gates[0].Q0 != 3 || r.Gates[0].Q1 != 1 {
+		t.Errorf("remap wrong: %+v", r.Gates[0])
+	}
+	mustPanic(t, func() { c.Remap(4, []int{0}) })
+	mustPanic(t, func() { c.Remap(4, []int{0, 0}) })
+	mustPanic(t, func() { c.Remap(1, []int{0, 1}) })
+}

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+
+	"atomique/internal/circuit"
+	"atomique/internal/hardware"
+)
+
+// mapSlotsToAtoms implements the qubit-atom mapper: SLM slots are placed by
+// load-balance diagonal-spiral order (Fig 6), AOD slots by frequency-rank
+// position alignment (Fig 7). The ablated variant places slots uniformly at
+// random within their array.
+func mapSlotsToAtoms(cfg hardware.Config, routed *circuit.Circuit, sizes []int,
+	opts Options, rng *rand.Rand) []hardware.Site {
+
+	nSlots := 0
+	for _, s := range sizes {
+		nSlots += s
+	}
+	siteOf := make([]hardware.Site, nSlots)
+	placed := make([]bool, nSlots)
+
+	slotsOfArray := make([][]int, len(sizes))
+	base := 0
+	for a, s := range sizes {
+		for i := 0; i < s; i++ {
+			slotsOfArray[a] = append(slotsOfArray[a], base+i)
+		}
+		base += s
+	}
+
+	if opts.RandomAtomMapper {
+		for a := range sizes {
+			spec := cfg.Array(a)
+			cells := diagonalSpiralOrder(spec.Rows, spec.Cols)
+			rng.Shuffle(len(cells), func(i, j int) { cells[i], cells[j] = cells[j], cells[i] })
+			for i, slot := range slotsOfArray[a] {
+				siteOf[slot] = hardware.Site{Array: a, Row: cells[i][0], Col: cells[i][1]}
+				placed[slot] = true
+			}
+		}
+		return siteOf
+	}
+
+	weights := routed.InteractionWeights()
+	involve := routed.TwoQubitPerQubit() // per-slot 2Q participation
+
+	// Step 1: SLM slots sorted by descending 2Q involvement fill the
+	// diagonal-spiral cell order, balancing load across rows and columns.
+	slm := append([]int(nil), slotsOfArray[0]...)
+	sort.Slice(slm, func(i, j int) bool {
+		if involve[slm[i]] != involve[slm[j]] {
+			return involve[slm[i]] > involve[slm[j]]
+		}
+		return slm[i] < slm[j]
+	})
+	slmCells := diagonalSpiralOrder(cfg.SLM.Rows, cfg.SLM.Cols)
+	for i, slot := range slm {
+		siteOf[slot] = hardware.Site{Array: 0, Row: slmCells[i][0], Col: slmCells[i][1]}
+		placed[slot] = true
+	}
+
+	// Step 2: aligned AOD mapping. Walk qubit pairs in descending gate
+	// frequency; whenever exactly one endpoint is placed, put the other at
+	// the same (row, col) of its own array if free, else the nearest free
+	// cell. Pairs with both endpoints unplaced seed a fresh diagonal cell.
+	free := make([]map[[2]int]bool, len(sizes))
+	nextDiag := make([]int, len(sizes))
+	diag := make([][][2]int, len(sizes))
+	for a := range sizes {
+		spec := cfg.Array(a)
+		diag[a] = diagonalSpiralOrder(spec.Rows, spec.Cols)
+		free[a] = make(map[[2]int]bool, spec.Capacity())
+		for _, cell := range diag[a] {
+			free[a][cell] = true
+		}
+	}
+	place := func(slot, row, col int) {
+		a := arrayOfSlot(slot, sizes)
+		cell := nearestFree(free[a], diag[a], row, col)
+		siteOf[slot] = hardware.Site{Array: a, Row: cell[0], Col: cell[1]}
+		delete(free[a], cell)
+		placed[slot] = true
+	}
+	placeFresh := func(slot int) {
+		a := arrayOfSlot(slot, sizes)
+		for ; nextDiag[a] < len(diag[a]); nextDiag[a]++ {
+			cell := diag[a][nextDiag[a]]
+			if free[a][cell] {
+				siteOf[slot] = hardware.Site{Array: a, Row: cell[0], Col: cell[1]}
+				delete(free[a], cell)
+				placed[slot] = true
+				return
+			}
+		}
+		panic("core: array out of free cells")
+	}
+
+	for _, pair := range sortPairsByWeight(weights) {
+		a, b := pair[0], pair[1]
+		switch {
+		case placed[a] && placed[b]:
+			continue
+		case placed[a]:
+			place(b, siteOf[a].Row, siteOf[a].Col)
+		case placed[b]:
+			place(a, siteOf[b].Row, siteOf[b].Col)
+		default:
+			placeFresh(a)
+			place(b, siteOf[a].Row, siteOf[a].Col)
+		}
+	}
+	// Any slot never touched by a two-qubit gate fills remaining cells.
+	for slot := 0; slot < nSlots; slot++ {
+		if !placed[slot] {
+			placeFresh(slot)
+		}
+	}
+	return siteOf
+}
+
+// diagonalSpiralOrder enumerates the cells of a rows x cols grid starting at
+// the upper-left corner, filling the main diagonal first and then the broken
+// diagonals that spiral around the torus (cell (r, (r+band) mod cols) for
+// band = 0, 1, ...). Every band touches each row exactly once and wraps the
+// columns, so any prefix of the order is balanced across rows and columns —
+// the load-balance property of the Fig 6 trajectory.
+func diagonalSpiralOrder(rows, cols int) [][2]int {
+	cells := make([][2]int, 0, rows*cols)
+	for band := 0; band < cols; band++ {
+		for r := 0; r < rows; r++ {
+			cells = append(cells, [2]int{r, (r + band) % cols})
+		}
+	}
+	return cells
+}
+
+// nearestFree returns the free cell closest (Manhattan) to (row, col),
+// preferring the exact cell; ties resolve in diagonal-spiral order for
+// determinism.
+func nearestFree(free map[[2]int]bool, order [][2]int, row, col int) [2]int {
+	if free[[2]int{row, col}] {
+		return [2]int{row, col}
+	}
+	best := [2]int{-1, -1}
+	bestDist := 1 << 30
+	for _, cell := range order {
+		if !free[cell] {
+			continue
+		}
+		d := abs(cell[0]-row) + abs(cell[1]-col)
+		if d < bestDist {
+			bestDist = d
+			best = cell
+		}
+	}
+	if best[0] < 0 {
+		panic("core: array out of free cells")
+	}
+	return best
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,55 @@
+package core
+
+import (
+	"testing"
+
+	"atomique/internal/bench"
+	"atomique/internal/hardware"
+)
+
+// Micro-benchmarks for the compiler itself (the paper's compile-time story:
+// milliseconds per circuit, linear-ish scaling).
+
+func BenchmarkCompileQAOA40(b *testing.B) {
+	cfg := hardware.DefaultConfig()
+	c := bench.QAOARegular(40, 5, 15)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compile(cfg, c, Options{Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCompileQSim40(b *testing.B) {
+	cfg := hardware.DefaultConfig()
+	c := bench.QSimRandom(40, 10, 0.5, 7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compile(cfg, c, Options{Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCompileQV32(b *testing.B) {
+	cfg := hardware.DefaultConfig()
+	c := bench.QV(32, 32, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compile(cfg, c, Options{Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCompileQAOA100(b *testing.B) {
+	cfg := hardware.DefaultConfig()
+	c := bench.QAOARegular(100, 6, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compile(cfg, c, Options{Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,357 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"atomique/internal/bench"
+	"atomique/internal/circuit"
+	"atomique/internal/hardware"
+)
+
+// verifySchedule checks the fundamental execution invariants of a compiled
+// result: every stage's two-qubit gates are pairwise qubit-disjoint and
+// cross-array, moved rows/columns preserve order and never coincide (unless
+// relaxed), and the total executed gate count matches the metrics.
+func verifySchedule(t *testing.T, cfg hardware.Config, res *Result, opts Options) {
+	t.Helper()
+	total2Q := 0
+	oneQ := 0
+	for si, stage := range res.Schedule.Stages {
+		used := map[int]bool{}
+		for _, g := range stage.Gates {
+			total2Q++
+			if used[g.SlotA] || used[g.SlotB] {
+				t.Fatalf("stage %d: qubit reused within stage", si)
+			}
+			used[g.SlotA], used[g.SlotB] = true, true
+			aa, ab := res.SiteOf[g.SlotA].Array, res.SiteOf[g.SlotB].Array
+			if aa == ab {
+				t.Fatalf("stage %d: intra-array gate between arrays %d/%d", si, aa, ab)
+			}
+		}
+		oneQ += len(stage.OneQ)
+		// Constraint 2/3 on executed moves: for each array, row moves sorted
+		// by index must have strictly increasing targets (unless relaxed).
+		if !opts.RelaxOrder && !opts.RelaxOverlap {
+			for _, isRow := range []bool{true, false} {
+				byArray := map[int]map[int]float64{}
+				for _, m := range stage.Moves {
+					if m.IsRow != isRow {
+						continue
+					}
+					if byArray[m.Array] == nil {
+						byArray[m.Array] = map[int]float64{}
+					}
+					byArray[m.Array][m.Index] = m.To
+				}
+				for a, mv := range byArray {
+					idxs := make([]int, 0, len(mv))
+					for i := range mv {
+						idxs = append(idxs, i)
+					}
+					sortInts(idxs)
+					for i := 1; i < len(idxs); i++ {
+						if mv[idxs[i]] <= mv[idxs[i-1]] {
+							// Only a violation if both moved; pinned rows are
+							// not in Moves, so this check is conservative
+							// only over moved entries — exactly constraint 2.
+							t.Fatalf("stage %d array %d: order violation (%v)", si, a, mv)
+						}
+					}
+				}
+			}
+		}
+	}
+	if total2Q != res.Metrics.N2Q {
+		t.Fatalf("executed 2Q = %d, metrics say %d", total2Q, res.Metrics.N2Q)
+	}
+	if oneQ != res.Metrics.N1Q {
+		t.Fatalf("executed 1Q = %d, metrics say %d", oneQ, res.Metrics.N1Q)
+	}
+}
+
+func TestCompileGHZ(t *testing.T) {
+	cfg := hardware.DefaultConfig()
+	c := bench.GHZ(12)
+	res, err := Compile(cfg, c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifySchedule(t, cfg, res, Options{})
+	if res.Metrics.N2Q < c.Num2Q() {
+		t.Errorf("executed fewer 2Q gates (%d) than source (%d)", res.Metrics.N2Q, c.Num2Q())
+	}
+	if res.Metrics.FidelityTotal() <= 0 || res.Metrics.FidelityTotal() > 1 {
+		t.Errorf("fidelity = %v out of range", res.Metrics.FidelityTotal())
+	}
+	if res.Metrics.Depth2Q == 0 || res.Metrics.ExecutionTime <= 0 {
+		t.Errorf("degenerate metrics: %+v", res.Metrics)
+	}
+}
+
+func TestCompileQAOA(t *testing.T) {
+	cfg := hardware.DefaultConfig()
+	c := bench.QAOARegular(20, 3, 1)
+	res, err := Compile(cfg, c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifySchedule(t, cfg, res, Options{})
+	// Parallelism: QAOA layers should batch more than one gate per stage.
+	if res.Schedule.MaxParallelism() < 2 {
+		t.Errorf("router achieved no parallelism (max %d)", res.Schedule.MaxParallelism())
+	}
+	// Depth must beat fully serial execution.
+	if res.Metrics.Depth2Q >= res.Metrics.N2Q {
+		t.Errorf("depth %d not better than serial %d", res.Metrics.Depth2Q, res.Metrics.N2Q)
+	}
+}
+
+func TestSerialRouterAblation(t *testing.T) {
+	cfg := hardware.DefaultConfig()
+	c := bench.QAOARegular(20, 3, 1)
+	par, err := Compile(cfg, c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ser, err := Compile(cfg, c, Options{SerialRouter: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ser.Schedule.MaxParallelism() > 1 {
+		t.Errorf("serial router batched %d gates", ser.Schedule.MaxParallelism())
+	}
+	if ser.Metrics.Depth2Q < par.Metrics.Depth2Q {
+		t.Errorf("serial depth %d < parallel depth %d", ser.Metrics.Depth2Q, par.Metrics.Depth2Q)
+	}
+	// Serial execution must equal its two-qubit gate count in depth.
+	if ser.Metrics.Depth2Q != ser.Metrics.N2Q {
+		t.Errorf("serial depth %d != N2Q %d", ser.Metrics.Depth2Q, ser.Metrics.N2Q)
+	}
+}
+
+func TestMapperAblationIncreasesSwaps(t *testing.T) {
+	cfg := hardware.DefaultConfig()
+	// A circuit with strong pair structure: the k-cut mapper should place
+	// partners in different arrays and need fewer swaps than round-robin.
+	c := bench.QSimRandom(24, 10, 0.5, 5)
+	good, err := Compile(cfg, c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense, err := Compile(cfg, c, Options{DenseMapper: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if good.Metrics.SwapCount > dense.Metrics.SwapCount {
+		t.Errorf("k-cut mapper swaps %d > dense mapper swaps %d",
+			good.Metrics.SwapCount, dense.Metrics.SwapCount)
+	}
+}
+
+func TestRandomAtomMapperRuns(t *testing.T) {
+	cfg := hardware.DefaultConfig()
+	c := bench.QAOARandom(16, 0.5, 3)
+	res, err := Compile(cfg, c, Options{RandomAtomMapper: true, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifySchedule(t, cfg, res, Options{RandomAtomMapper: true})
+}
+
+func TestRelaxationsReduceOrKeepDepth(t *testing.T) {
+	cfg := hardware.DefaultConfig()
+	c := bench.QAOARandom(30, 0.5, 7)
+	full, err := Compile(cfg, c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, opts := range []Options{
+		{RelaxAddressing: true},
+		{RelaxOrder: true},
+		{RelaxOverlap: true},
+	} {
+		rel, err := Compile(cfg, c, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Gate count is unchanged by relaxations (they only affect
+		// scheduling), as the paper notes for Fig 22.
+		if rel.Metrics.N2Q != full.Metrics.N2Q {
+			t.Errorf("relaxation %+v changed 2Q count %d -> %d",
+				opts, full.Metrics.N2Q, rel.Metrics.N2Q)
+		}
+		if rel.Metrics.Depth2Q > full.Metrics.Depth2Q {
+			t.Errorf("relaxation %+v increased depth %d -> %d",
+				opts, full.Metrics.Depth2Q, rel.Metrics.Depth2Q)
+		}
+	}
+}
+
+func TestCompileDeterministic(t *testing.T) {
+	cfg := hardware.DefaultConfig()
+	c := bench.QSimRandom(20, 10, 0.5, 6)
+	a, err := Compile(cfg, c, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Compile(cfg, c, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Metrics.N2Q != b.Metrics.N2Q || a.Metrics.Depth2Q != b.Metrics.Depth2Q ||
+		a.Metrics.TotalMoveDist != b.Metrics.TotalMoveDist {
+		t.Errorf("compilation not deterministic: %+v vs %+v", a.Metrics, b.Metrics)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cfg := hardware.DefaultConfig()
+	big := circuit.New(cfg.Capacity() + 1)
+	if _, err := Compile(cfg, big, Options{}); err == nil {
+		t.Errorf("oversized circuit accepted")
+	}
+	bad := cfg
+	bad.AODs = nil
+	if _, err := Compile(bad, bench.GHZ(4), Options{}); err == nil {
+		t.Errorf("invalid config accepted")
+	}
+}
+
+func TestDiagonalSpiralOrder(t *testing.T) {
+	cells := diagonalSpiralOrder(4, 4)
+	if len(cells) != 16 {
+		t.Fatalf("cell count = %d, want 16", len(cells))
+	}
+	seen := map[[2]int]bool{}
+	for _, c := range cells {
+		if seen[c] {
+			t.Fatalf("cell %v repeated", c)
+		}
+		seen[c] = true
+	}
+	// Diagonal first.
+	for i := 0; i < 4; i++ {
+		if cells[i] != [2]int{i, i} {
+			t.Errorf("cell %d = %v, want diagonal", i, cells[i])
+		}
+	}
+	// Non-square grids covered fully too.
+	cells = diagonalSpiralOrder(3, 5)
+	if len(cells) != 15 {
+		t.Errorf("3x5 cell count = %d, want 15", len(cells))
+	}
+}
+
+func TestLoadBalanceMapping(t *testing.T) {
+	// With 8 qubits in a 4x4 SLM, the diagonal-first order must spread atoms
+	// so no row or column holds more than 2 of the first 8.
+	cells := diagonalSpiralOrder(4, 4)[:8]
+	rows, cols := map[int]int{}, map[int]int{}
+	for _, c := range cells {
+		rows[c[0]]++
+		cols[c[1]]++
+	}
+	for r, n := range rows {
+		if n > 2 {
+			t.Errorf("row %d holds %d of first 8 cells", r, n)
+		}
+	}
+	for c, n := range cols {
+		if n > 2 {
+			t.Errorf("col %d holds %d of first 8 cells", c, n)
+		}
+	}
+}
+
+func TestAlignedMappingPutsFrequentPairsAtSamePosition(t *testing.T) {
+	cfg := hardware.DefaultConfig()
+	// Pairs (0,1), (2,3), ... interact heavily; mapper should assign each
+	// pair's endpoints to the same (row,col) across arrays.
+	c := circuit.New(8)
+	for rep := 0; rep < 10; rep++ {
+		for q := 0; q < 8; q += 2 {
+			c.CZ(q, q+1)
+		}
+	}
+	res, err := Compile(cfg, c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aligned := 0
+	for q := 0; q < 8; q += 2 {
+		s0 := res.SiteOf[res.InitialSlotOf[q]]
+		s1 := res.SiteOf[res.InitialSlotOf[q+1]]
+		if s0.Row == s1.Row && s0.Col == s1.Col {
+			aligned++
+		}
+	}
+	if aligned < 3 {
+		t.Errorf("only %d/4 heavy pairs position-aligned", aligned)
+	}
+}
+
+func TestCoolingTriggersOnLongCircuits(t *testing.T) {
+	cfg := hardware.DefaultConfig()
+	// Force rapid heating: long moves via tiny move time.
+	cfg.Params.TimePerMove = 100e-6
+	c := bench.QSimRandom(30, 30, 0.5, 2)
+	res, err := Compile(cfg, c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.CoolingEvents == 0 {
+		t.Errorf("expected cooling events on a hot configuration")
+	}
+	if len(res.Trace.CoolingAtomCounts) != res.Metrics.CoolingEvents {
+		t.Errorf("cooling trace inconsistent")
+	}
+}
+
+// Property: random circuits compile into verified schedules with conserved
+// gate counts across machine shapes.
+func TestCompileProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := hardware.SquareConfig(4+rng.Intn(3), 1+rng.Intn(3))
+		n := 4 + rng.Intn(12)
+		c := circuit.New(n)
+		for i := 0; i < 5+rng.Intn(50); i++ {
+			if rng.Intn(4) == 0 {
+				c.H(rng.Intn(n))
+				continue
+			}
+			a, b := rng.Intn(n), rng.Intn(n-1)
+			if b >= a {
+				b++
+			}
+			c.CZ(a, b)
+		}
+		res, err := Compile(cfg, c, Options{Seed: seed})
+		if err != nil {
+			return false
+		}
+		if res.Metrics.N2Q != c.Num2Q()+3*res.Metrics.SwapCount {
+			return false
+		}
+		for _, stage := range res.Schedule.Stages {
+			used := map[int]bool{}
+			for _, g := range stage.Gates {
+				if used[g.SlotA] || used[g.SlotB] {
+					return false
+				}
+				used[g.SlotA], used[g.SlotB] = true, true
+				if res.SiteOf[g.SlotA].Array == res.SiteOf[g.SlotB].Array {
+					return false
+				}
+			}
+		}
+		f := res.Metrics.FidelityTotal()
+		return f >= 0 && f <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

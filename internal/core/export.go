@@ -1,0 +1,119 @@
+package core
+
+import (
+	"encoding/json"
+	"io"
+
+	"atomique/internal/hardware"
+)
+
+// scheduleJSON is the serialised form of a compiled result: enough for an
+// external control system (or analysis notebook) to replay the movement and
+// pulse program without this library.
+type scheduleJSON struct {
+	Qubits  int         `json:"qubits"`
+	Arrays  []arrayJSON `json:"arrays"`
+	Sites   []siteJSON  `json:"sites"`
+	Initial []int       `json:"initial_slot_of"`
+	Final   []int       `json:"final_slot_of"`
+	Stages  []stageJSON `json:"stages"`
+	Metrics metricJSON  `json:"metrics"`
+}
+
+type arrayJSON struct {
+	Kind string `json:"kind"` // "slm" or "aod"
+	Rows int    `json:"rows"`
+	Cols int    `json:"cols"`
+}
+
+type siteJSON struct {
+	Array int `json:"array"`
+	Row   int `json:"row"`
+	Col   int `json:"col"`
+}
+
+type stageJSON struct {
+	OneQ  []gateJSON `json:"one_qubit,omitempty"`
+	Moves []moveJSON `json:"moves,omitempty"`
+	Gates []gateJSON `json:"gates,omitempty"`
+}
+
+type gateJSON struct {
+	Op    string  `json:"op"`
+	A     int     `json:"a"`
+	B     int     `json:"b,omitempty"`
+	Param float64 `json:"param,omitempty"`
+}
+
+type moveJSON struct {
+	Array int     `json:"array"`
+	Axis  string  `json:"axis"` // "row" or "col"
+	Index int     `json:"index"`
+	From  float64 `json:"from_m"`
+	To    float64 `json:"to_m"`
+}
+
+type metricJSON struct {
+	TwoQubitGates int     `json:"two_qubit_gates"`
+	OneQubitGates int     `json:"one_qubit_gates"`
+	Depth         int     `json:"depth"`
+	Swaps         int     `json:"swaps"`
+	ExecutionTime float64 `json:"execution_time_s"`
+	MoveDistance  float64 `json:"move_distance_m"`
+	Coolings      int     `json:"cooling_events"`
+	Fidelity      float64 `json:"fidelity"`
+}
+
+// ExportJSON writes the compiled schedule as JSON.
+func ExportJSON(w io.Writer, cfg hardware.Config, res *Result) error {
+	out := scheduleJSON{
+		Qubits:  res.Metrics.NQubits,
+		Initial: res.InitialSlotOf,
+		Final:   res.FinalSlotOf,
+		Metrics: metricJSON{
+			TwoQubitGates: res.Metrics.N2Q,
+			OneQubitGates: res.Metrics.N1Q,
+			Depth:         res.Metrics.Depth2Q,
+			Swaps:         res.Metrics.SwapCount,
+			ExecutionTime: res.Metrics.ExecutionTime,
+			MoveDistance:  res.Metrics.TotalMoveDist,
+			Coolings:      res.Metrics.CoolingEvents,
+			Fidelity:      res.Metrics.FidelityTotal(),
+		},
+	}
+	for a := 0; a < cfg.NumArrays(); a++ {
+		kind := "aod"
+		if a == 0 {
+			kind = "slm"
+		}
+		spec := cfg.Array(a)
+		out.Arrays = append(out.Arrays, arrayJSON{Kind: kind, Rows: spec.Rows, Cols: spec.Cols})
+	}
+	for _, s := range res.SiteOf {
+		out.Sites = append(out.Sites, siteJSON{Array: s.Array, Row: s.Row, Col: s.Col})
+	}
+	for _, st := range res.Schedule.Stages {
+		sj := stageJSON{}
+		for _, g := range st.OneQ {
+			sj.OneQ = append(sj.OneQ, gateJSON{Op: g.Op.String(), A: g.SlotA, Param: g.Param})
+		}
+		for _, m := range st.Moves {
+			axis := "col"
+			if m.IsRow {
+				axis = "row"
+			}
+			sj.Moves = append(sj.Moves, moveJSON{
+				Array: m.Array, Axis: axis, Index: m.Index, From: m.From, To: m.To,
+			})
+		}
+		for _, g := range st.Gates {
+			sj.Gates = append(sj.Gates, gateJSON{
+				Op: g.Op.String(), A: g.SlotA, B: g.SlotB, Param: g.Param,
+			})
+		}
+		out.Stages = append(out.Stages, sj)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -1,0 +1,512 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"atomique/internal/circuit"
+	"atomique/internal/fidelity"
+	"atomique/internal/hardware"
+	"atomique/internal/move"
+)
+
+// route is the high-parallelism AOD router (Fig 8). It iterates over the
+// dependency frontier of the transpiled circuit: one-qubit gates execute
+// immediately under the Raman laser; two-qubit gates are greedily batched
+// into the largest stage satisfying the three hardware constraints
+// (Figs 9-11), after which the AOD rows/columns move and the global Rydberg
+// pulse fires. Heating (n_vib), cooling swaps, movement distance, and
+// execution time are tracked throughout.
+//
+// Movement model: parked AOD rows/columns always rest at interstitial
+// coordinates (grid target plus the array's park offset), so idle atoms
+// never sit within the Rydberg range of a grid site. A row/column that moves
+// travels to its grid-aligned target and retreats to the interstitial park
+// position afterwards; both legs count toward distance and heating. For
+// AOD-AOD gates the lower-indexed array stays pinned at its (interstitial)
+// position and the other array meets it there. Constraint checks operate on
+// actively bound rows/columns, matching the abstraction level of Figs 9-11.
+func route(cfg hardware.Config, routed *circuit.Circuit, siteOf []hardware.Site,
+	sizes []int, opts Options) (*Schedule, fidelity.MovementTrace, routerStats) {
+
+	st := newRouterState(cfg, siteOf, opts)
+	front := circuit.NewFrontier(circuit.NewDAG(routed))
+	sched := &Schedule{}
+	var trace fidelity.MovementTrace
+	var stats routerStats
+
+	for !front.Done() {
+		stage := Stage{}
+
+		// Phase 1: drain one-qubit gates layer by layer (each pass over the
+		// frontier is one parallel Raman layer).
+		for {
+			var batch []int
+			for _, gi := range front.Front() {
+				if !front.Gate(gi).IsTwoQubit() {
+					batch = append(batch, gi)
+				}
+			}
+			if len(batch) == 0 {
+				break
+			}
+			for _, gi := range batch {
+				g := front.Gate(gi)
+				stage.OneQ = append(stage.OneQ, GateExec{Op: g.Op, SlotA: g.Q0, SlotB: -1, Param: g.Param})
+				front.Execute(gi)
+			}
+			stats.oneQLayers++
+			stats.execTime += cfg.Params.Time1Q
+		}
+		if front.Done() {
+			if len(stage.OneQ) > 0 {
+				sched.Stages = append(sched.Stages, stage)
+			}
+			break
+		}
+
+		// Phase 2: greedily batch legal parallel two-qubit gates.
+		var batch []int
+		plan := newStagePlan(st)
+		for _, gi := range append([]int(nil), front.Front()...) {
+			g := front.Gate(gi)
+			if !g.IsTwoQubit() {
+				continue
+			}
+			if opts.SerialRouter && len(batch) >= 1 {
+				break
+			}
+			reason := plan.tryAdd(g.Q0, g.Q1)
+			if reason == addOK {
+				batch = append(batch, gi)
+			} else if reason == addOverlap {
+				stats.overlaps++
+			}
+		}
+		if len(batch) == 0 {
+			for _, gi := range front.Front() {
+				g := front.Gate(gi)
+				if g.IsTwoQubit() {
+					reason := newStagePlan(st).tryAdd(g.Q0, g.Q1)
+					panicMsg := fmt.Sprintf("core: router stuck: gate %v sites %v %v reason %d",
+						g, siteOf[g.Q0], siteOf[g.Q1], reason)
+					panic(panicMsg)
+				}
+			}
+			panic("core: router made no progress (intra-SLM gate?)")
+		}
+
+		// Commit: movements, heating, gates.
+		stage.Moves = plan.commitMoves()
+		stageDist := 0.0
+		for a := 1; a < cfg.NumArrays(); a++ {
+			rd, cd := st.rowDisp[a], st.colDisp[a]
+			for _, slot := range st.atomsOf[a] {
+				s := siteOf[slot]
+				d := math.Hypot(rd[s.Row], cd[s.Col])
+				if d > 0 {
+					st.nvib[slot] += move.DeltaNvib(d, cfg.Params.TimePerMove, cfg.Params)
+					trace.MoveNvib = append(trace.MoveNvib, st.nvib[slot])
+					stageDist += d
+				}
+			}
+		}
+		stats.totalDist += stageDist
+
+		for _, gi := range batch {
+			g := front.Gate(gi)
+			stage.Gates = append(stage.Gates, GateExec{Op: g.Op, SlotA: g.Q0, SlotB: g.Q1, Param: g.Param})
+			front.Execute(gi)
+			trace.GateNvib = append(trace.GateNvib, st.gateNvib(g.Q0, g.Q1))
+		}
+
+		trace.StageQubits = append(trace.StageQubits, len(siteOf))
+		trace.StageMoveTime = append(trace.StageMoveTime, cfg.Params.TimePerMove)
+		stats.execTime += cfg.Params.TimePerMove + cfg.Params.Time2Q
+		stats.stages++
+		sched.Stages = append(sched.Stages, stage)
+
+		// Cooling: any AOD array whose hottest atom exceeds the threshold is
+		// swapped wholesale into a pre-cooled array (two CZ per atom).
+		for a := 1; a < cfg.NumArrays(); a++ {
+			hot := false
+			for _, slot := range st.atomsOf[a] {
+				if st.nvib[slot] > cfg.Params.NvibCool {
+					hot = true
+					break
+				}
+			}
+			if hot {
+				trace.CoolingAtomCounts = append(trace.CoolingAtomCounts, len(st.atomsOf[a]))
+				for _, slot := range st.atomsOf[a] {
+					st.nvib[slot] = 0
+				}
+				stats.coolings++
+				stats.execTime += 2 * cfg.Params.Time2Q
+			}
+		}
+	}
+	return sched, trace, stats
+}
+
+// routerState holds the mutable execution state: AOD row/column coordinates,
+// per-atom n_vib, and per-array atom indexes.
+type routerState struct {
+	cfg      hardware.Config
+	opts     Options
+	siteOf   []hardware.Site
+	atomsOf  [][]int        // array -> slots
+	slotAt   map[[3]int]int // (array,row,col) -> slot
+	rowCoord [][]float64    // array -> row index -> current y (parked)
+	colCoord [][]float64    // array -> col index -> current x (parked)
+	rowDisp  [][]float64    // scratch: per-row displacement this stage
+	colDisp  [][]float64
+	nvib     []float64
+	parkOff  []float64 // per-array interstitial park offset
+}
+
+func newRouterState(cfg hardware.Config, siteOf []hardware.Site, opts Options) *routerState {
+	k := cfg.NumArrays()
+	st := &routerState{
+		cfg:      cfg,
+		opts:     opts,
+		siteOf:   siteOf,
+		atomsOf:  make([][]int, k),
+		slotAt:   make(map[[3]int]int, len(siteOf)),
+		rowCoord: make([][]float64, k),
+		colCoord: make([][]float64, k),
+		rowDisp:  make([][]float64, k),
+		colDisp:  make([][]float64, k),
+		nvib:     make([]float64, len(siteOf)),
+		parkOff:  make([]float64, k),
+	}
+	for slot, s := range siteOf {
+		st.atomsOf[s.Array] = append(st.atomsOf[s.Array], slot)
+		st.slotAt[[3]int{s.Array, s.Row, s.Col}] = slot
+	}
+	for a := 0; a < k; a++ {
+		spec := cfg.Array(a)
+		st.rowCoord[a] = make([]float64, spec.Rows)
+		st.colCoord[a] = make([]float64, spec.Cols)
+		st.rowDisp[a] = make([]float64, spec.Rows)
+		st.colDisp[a] = make([]float64, spec.Cols)
+		st.parkOff[a] = cfg.HomeY(hardware.Site{Array: a}) - cfg.SiteY(0)
+		for r := 0; r < spec.Rows; r++ {
+			st.rowCoord[a][r] = cfg.HomeY(hardware.Site{Array: a, Row: r})
+		}
+		for c := 0; c < spec.Cols; c++ {
+			st.colCoord[a][c] = cfg.HomeX(hardware.Site{Array: a, Col: c})
+		}
+	}
+	return st
+}
+
+// gateNvib returns the effective n_vib for a two-qubit gate: the AOD atom's
+// value for AOD-SLM pairs, the sum for AOD-AOD pairs (Sec. IV).
+func (st *routerState) gateNvib(a, b int) float64 {
+	sa, sb := st.siteOf[a], st.siteOf[b]
+	switch {
+	case sa.Array == 0:
+		return st.nvib[b]
+	case sb.Array == 0:
+		return st.nvib[a]
+	default:
+		return st.nvib[a] + st.nvib[b]
+	}
+}
+
+// addReason classifies tryAdd outcomes.
+type addReason int
+
+const (
+	addOK          addReason = iota
+	addRowConflict           // a row/column is already bound to a different target
+	addOrder                 // constraint 2: would invert row/column order
+	addOverlap               // constraint 3: two rows/columns would coincide
+	addAddressing            // constraint 1: would create an unintended interaction
+	addIllegal               // intra-SLM gate (compiler invariant violation)
+)
+
+// stagePlan accumulates the row/column targets of a candidate stage and
+// checks the three hardware constraints incrementally.
+type stagePlan struct {
+	st    *routerState
+	rowT  []map[int]float64 // array -> row index -> target y
+	colT  []map[int]float64 // array -> col index -> target x
+	gates [][2]int          // accepted gates (ordered slot pairs)
+	pairs map[[2]int]bool
+}
+
+func newStagePlan(st *routerState) *stagePlan {
+	k := st.cfg.NumArrays()
+	p := &stagePlan{st: st, pairs: make(map[[2]int]bool)}
+	p.rowT = make([]map[int]float64, k)
+	p.colT = make([]map[int]float64, k)
+	for a := 0; a < k; a++ {
+		p.rowT[a] = make(map[int]float64)
+		p.colT[a] = make(map[int]float64)
+	}
+	return p
+}
+
+// binds returns the row and column bindings a gate requires. For AOD-SLM
+// gates the AOD atom targets the SLM grid site; for AOD-AOD gates both
+// arrays meet at a canonical interstitial point — the lower-indexed atom's
+// home grid cell plus that array's park offset, which is never grid-aligned,
+// so the meeting can never collide with an SLM atom regardless of movement
+// history.
+func (p *stagePlan) binds(a, b int) (rows, cols [][3]float64) {
+	st := p.st
+	sa, sb := st.siteOf[a], st.siteOf[b]
+	mk := func(array, idx int, target float64) [3]float64 {
+		return [3]float64{float64(array), float64(idx), target}
+	}
+	switch {
+	case sa.Array == 0 || sb.Array == 0:
+		slm, aod := sa, sb
+		if sb.Array == 0 {
+			slm, aod = sb, sa
+		}
+		rows = append(rows, mk(aod.Array, aod.Row, st.cfg.SiteY(slm.Row)))
+		cols = append(cols, mk(aod.Array, aod.Col, st.cfg.SiteX(slm.Col)))
+	default:
+		pin, mov := sa, sb
+		if sb.Array < sa.Array {
+			pin, mov = sb, sa
+		}
+		meetY := st.cfg.SiteY(pin.Row) + st.parkOff[pin.Array]
+		meetX := st.cfg.SiteX(pin.Col) + st.parkOff[pin.Array]
+		rows = append(rows, mk(pin.Array, pin.Row, meetY), mk(mov.Array, mov.Row, meetY))
+		cols = append(cols, mk(pin.Array, pin.Col, meetX), mk(mov.Array, mov.Col, meetX))
+	}
+	return rows, cols
+}
+
+// tryAdd attempts to add the gate (slotA, slotB) to the stage. On success
+// the plan is updated; on failure it is left unchanged.
+func (p *stagePlan) tryAdd(a, b int) addReason {
+	st := p.st
+	sa, sb := st.siteOf[a], st.siteOf[b]
+	if sa.Array == 0 && sb.Array == 0 {
+		return addIllegal
+	}
+	rows, cols := p.binds(a, b)
+
+	// A row/column already bound to a different target cannot be split.
+	for _, rb := range rows {
+		if t, ok := p.rowT[int(rb[0])][int(rb[1])]; ok && !approxEq(t, rb[2]) {
+			return addRowConflict
+		}
+	}
+	for _, cb := range cols {
+		if t, ok := p.colT[int(cb[0])][int(cb[1])]; ok && !approxEq(t, cb[2]) {
+			return addRowConflict
+		}
+	}
+
+	// Tentatively apply, then validate constraints 2, 3, 1.
+	for _, rb := range rows {
+		p.rowT[int(rb[0])][int(rb[1])] = rb[2]
+	}
+	for _, cb := range cols {
+		p.colT[int(cb[0])][int(cb[1])] = cb[2]
+	}
+	key := pairKey(a, b)
+	p.pairs[key] = true
+	p.gates = append(p.gates, key)
+
+	reason := p.checkOrderAndOverlap()
+	if reason == addOK && !st.opts.RelaxAddressing && !p.checkAddressing() {
+		reason = addAddressing
+	}
+	if reason != addOK {
+		p.rebuildWithoutLast()
+	}
+	return reason
+}
+
+// rebuildWithoutLast removes the most recently added gate and rebuilds the
+// binding maps from the remaining accepted gates (which are mutually legal
+// by induction).
+func (p *stagePlan) rebuildWithoutLast() {
+	last := p.gates[len(p.gates)-1]
+	p.gates = p.gates[:len(p.gates)-1]
+	delete(p.pairs, last)
+	k := p.st.cfg.NumArrays()
+	for a := 0; a < k; a++ {
+		p.rowT[a] = make(map[int]float64)
+		p.colT[a] = make(map[int]float64)
+	}
+	for _, g := range p.gates {
+		rows, cols := p.binds(g[0], g[1])
+		for _, rb := range rows {
+			p.rowT[int(rb[0])][int(rb[1])] = rb[2]
+		}
+		for _, cb := range cols {
+			p.colT[int(cb[0])][int(cb[1])] = cb[2]
+		}
+	}
+}
+
+// checkOrderAndOverlap enforces constraints 2 and 3 on every AOD array:
+// bound rows (columns) must keep strictly increasing targets in index order.
+func (p *stagePlan) checkOrderAndOverlap() addReason {
+	st := p.st
+	for a := 1; a < st.cfg.NumArrays(); a++ {
+		if r := checkAxis(p.rowT[a], st.opts); r != addOK {
+			return r
+		}
+		if r := checkAxis(p.colT[a], st.opts); r != addOK {
+			return r
+		}
+	}
+	return addOK
+}
+
+func checkAxis(binds map[int]float64, opts Options) addReason {
+	if len(binds) < 2 {
+		return addOK
+	}
+	idxs := make([]int, 0, len(binds))
+	for i := range binds {
+		idxs = append(idxs, i)
+	}
+	sortInts(idxs)
+	for i := 1; i < len(idxs); i++ {
+		prev, cur := binds[idxs[i-1]], binds[idxs[i]]
+		if approxEq(prev, cur) {
+			if !opts.RelaxOverlap {
+				return addOverlap
+			}
+			continue
+		}
+		if prev > cur && !opts.RelaxOrder {
+			return addOrder
+		}
+	}
+	return addOK
+}
+
+// checkAddressing enforces constraint 1: every pair of atoms brought to the
+// same point by the planned moves must be an accepted gate, and no point may
+// host more than two atoms (the global Rydberg pulse entangles every pair
+// within range).
+func (p *stagePlan) checkAddressing() bool {
+	st := p.st
+	atomsAt := make(map[[2]int64][]int)
+	for a := 1; a < st.cfg.NumArrays(); a++ {
+		if len(p.rowT[a]) == 0 || len(p.colT[a]) == 0 {
+			continue
+		}
+		for r, y := range p.rowT[a] {
+			for c, x := range p.colT[a] {
+				slot, ok := st.slotAt[[3]int{a, r, c}]
+				if !ok {
+					continue // empty trap site
+				}
+				key := quantize(y, x)
+				atomsAt[key] = append(atomsAt[key], slot)
+			}
+		}
+	}
+	for key, group := range atomsAt {
+		if slot, ok := st.slmAtomAt(key); ok {
+			group = append(group, slot)
+		}
+		if len(group) > 2 {
+			return false
+		}
+		if len(group) == 2 && !p.pairs[pairKey(group[0], group[1])] {
+			return false
+		}
+	}
+	return true
+}
+
+// slmAtomAt returns the SLM slot whose grid position quantises to key.
+func (st *routerState) slmAtomAt(key [2]int64) (int, bool) {
+	d := st.cfg.Params.AtomDistance
+	y := float64(key[0]) * 1e-9
+	x := float64(key[1]) * 1e-9
+	r := int(math.Round(y / d))
+	c := int(math.Round(x / d))
+	if r < 0 || c < 0 || !approxEq(float64(r)*d, y) || !approxEq(float64(c)*d, x) {
+		return 0, false // interstitial or off-grid point
+	}
+	slot, ok := st.slotAt[[3]int{0, r, c}]
+	return slot, ok
+}
+
+// commitMoves translates the plan's bindings into Move records, updates the
+// row/column coordinates (target plus park retreat), and fills the per-axis
+// displacement scratch used for heating.
+func (p *stagePlan) commitMoves() []Move {
+	st := p.st
+	var moves []Move
+	for a := 1; a < st.cfg.NumArrays(); a++ {
+		for i := range st.rowDisp[a] {
+			st.rowDisp[a][i] = 0
+		}
+		for i := range st.colDisp[a] {
+			st.colDisp[a][i] = 0
+		}
+		off := st.parkOff[a]
+		park := func(target float64) (parked, retreat float64) {
+			// Grid-aligned targets (AOD-SLM gates) retreat to an interstitial
+			// park position after the pulse; interstitial meeting points
+			// (AOD-AOD gates) are already safe to rest at.
+			if st.gridAligned(target) {
+				return target + off, off
+			}
+			return target, 0
+		}
+		for r, y := range p.rowT[a] {
+			cur := st.rowCoord[a][r]
+			if approxEq(cur, y) {
+				continue // pinned in place
+			}
+			parked, retreat := park(y)
+			moves = append(moves, Move{Array: a, IsRow: true, Index: r, From: cur, To: y})
+			st.rowDisp[a][r] = math.Abs(y-cur) + retreat // travel + retreat
+			st.rowCoord[a][r] = parked
+		}
+		for c, x := range p.colT[a] {
+			cur := st.colCoord[a][c]
+			if approxEq(cur, x) {
+				continue
+			}
+			parked, retreat := park(x)
+			moves = append(moves, Move{Array: a, IsRow: false, Index: c, From: cur, To: x})
+			st.colDisp[a][c] = math.Abs(x-cur) + retreat
+			st.colCoord[a][c] = parked
+		}
+	}
+	return moves
+}
+
+func pairKey(a, b int) [2]int {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]int{a, b}
+}
+
+func quantize(y, x float64) [2]int64 {
+	return [2]int64{int64(math.Round(y * 1e9)), int64(math.Round(x * 1e9))}
+}
+
+func approxEq(a, b float64) bool { return math.Abs(a-b) < 1e-10 }
+
+// gridAligned reports whether a coordinate sits on an SLM grid line.
+func (st *routerState) gridAligned(v float64) bool {
+	d := st.cfg.Params.AtomDistance
+	return approxEq(math.Round(v/d)*d, v)
+}
+
+func sortInts(s []int) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

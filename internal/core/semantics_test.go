@@ -1,0 +1,167 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"atomique/internal/circuit"
+	"atomique/internal/hardware"
+	"atomique/internal/sim"
+)
+
+// runSchedule executes a compiled schedule's gate stream (1Q batches and
+// parallel 2Q batches, in stage order) on |0...0> over the physical slots.
+func runSchedule(res *Result, nSlots int) *sim.State {
+	s := sim.NewState(nSlots)
+	applyStages(s, res)
+	return s
+}
+
+func applyStages(s *sim.State, res *Result) {
+	for _, st := range res.Schedule.Stages {
+		for _, g := range st.OneQ {
+			s.Apply(circuit.Gate{Op: g.Op, Q0: g.SlotA, Q1: -1, Param: g.Param})
+		}
+		for _, g := range st.Gates {
+			s.Apply(circuit.Gate{Op: g.Op, Q0: g.SlotA, Q1: g.SlotB, Param: g.Param})
+		}
+	}
+}
+
+// semanticsCheck compiles c and verifies that executing the schedule on
+// |0..0> produces the same state as the source circuit, with logical qubit q
+// living at physical slot FinalSlotOf[q].
+func semanticsCheck(t *testing.T, cfg hardware.Config, c *circuit.Circuit, opts Options) {
+	t.Helper()
+	res, err := Compile(cfg, c, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nSlots := len(res.SiteOf)
+	if nSlots > 14 {
+		t.Fatalf("semanticsCheck limited to 14 slots, got %d", nSlots)
+	}
+	got := runSchedule(res, nSlots)
+
+	want := sim.NewState(c.N)
+	want.Run(c)
+	expected := want.Embed(nSlots, res.FinalSlotOf)
+
+	if f := sim.Fidelity(got, expected); f < 1-1e-7 {
+		t.Fatalf("schedule not equivalent to source: fidelity %v", f)
+	}
+}
+
+// randomMixed builds a random circuit mixing Clifford gates, rotations, and
+// native ZZ interactions — everything the Schedule round-trips.
+func randomMixed(rng *rand.Rand, n, gates int) *circuit.Circuit {
+	c := circuit.New(n)
+	for i := 0; i < gates; i++ {
+		switch rng.Intn(8) {
+		case 0:
+			c.H(rng.Intn(n))
+		case 1:
+			c.X(rng.Intn(n))
+		case 2:
+			c.RZ(rng.Intn(n), rng.Float64()*6)
+		case 3:
+			c.RX(rng.Intn(n), rng.Float64()*6)
+		case 4, 5:
+			a, b := pick2(n, rng)
+			c.CX(a, b)
+		case 6:
+			a, b := pick2(n, rng)
+			c.CZ(a, b)
+		case 7:
+			a, b := pick2(n, rng)
+			c.ZZ(a, b, rng.Float64()*6)
+		}
+	}
+	return c
+}
+
+func pick2(n int, rng *rand.Rand) (int, int) {
+	a := rng.Intn(n)
+	b := rng.Intn(n - 1)
+	if b >= a {
+		b++
+	}
+	return a, b
+}
+
+func TestScheduleSemanticsGHZ(t *testing.T) {
+	cfg := hardware.SquareConfig(4, 2)
+	c := circuit.New(6)
+	c.H(0)
+	for i := 1; i < 6; i++ {
+		c.CX(i-1, i)
+	}
+	semanticsCheck(t, cfg, c, Options{Seed: 1})
+}
+
+func TestScheduleSemanticsWithSwaps(t *testing.T) {
+	// Dense interactions force SWAP insertion; equivalence must survive the
+	// 3-CX decomposition and the final-mapping permutation.
+	cfg := hardware.SquareConfig(3, 2)
+	rng := rand.New(rand.NewSource(4))
+	c := randomMixed(rng, 9, 60)
+	semanticsCheck(t, cfg, c, Options{Seed: 2})
+}
+
+func TestScheduleSemanticsUnderAblations(t *testing.T) {
+	cfg := hardware.SquareConfig(3, 2)
+	rng := rand.New(rand.NewSource(5))
+	c := randomMixed(rng, 8, 40)
+	for _, opts := range []Options{
+		{SerialRouter: true},
+		{DenseMapper: true},
+		{RandomAtomMapper: true, Seed: 3},
+		{RelaxOrder: true},
+		{RelaxOverlap: true},
+		{RelaxAddressing: true},
+	} {
+		semanticsCheck(t, cfg, c, opts)
+	}
+}
+
+// Property: the full pipeline preserves circuit semantics on random
+// random mixed circuits across machine geometries.
+func TestScheduleSemanticsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(7) // up to 10 logical qubits = 10 slots
+		side := 3 + rng.Intn(2)
+		cfg := hardware.SquareConfig(side, 1+rng.Intn(2))
+		c := randomMixed(rng, n, 10+rng.Intn(50))
+		res, err := Compile(cfg, c, Options{Seed: seed})
+		if err != nil {
+			return false
+		}
+		got := runSchedule(res, len(res.SiteOf))
+		want := sim.NewState(c.N)
+		want.Run(c)
+		expected := want.Embed(len(res.SiteOf), res.FinalSlotOf)
+		return sim.Fidelity(got, expected) > 1-1e-7
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The fidelity model and the simulator agree on norms: executing a schedule
+// never changes state norm.
+func TestScheduleUnitarity(t *testing.T) {
+	cfg := hardware.SquareConfig(3, 2)
+	rng := rand.New(rand.NewSource(6))
+	c := randomMixed(rng, 8, 50)
+	res, err := Compile(cfg, c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := runSchedule(res, len(res.SiteOf))
+	if math.Abs(s.Norm()-1) > 1e-9 {
+		t.Fatalf("schedule execution broke unitarity: norm %v", s.Norm())
+	}
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"atomique/internal/bench"
+	"atomique/internal/hardware"
+)
+
+func TestVerifyScheduleAcceptsCompiled(t *testing.T) {
+	cfg := hardware.DefaultConfig()
+	for _, b := range []bench.Benchmark{
+		{Name: "QAOA", Circ: bench.QAOARegular(20, 3, 1)},
+		{Name: "QSim", Circ: bench.QSimRandom(20, 10, 0.5, 6)},
+		{Name: "QFT", Circ: bench.QFT(12)},
+		{Name: "Grover", Circ: bench.Grover(5, 2)},
+	} {
+		for _, opts := range []Options{{}, {SerialRouter: true}, {RelaxOverlap: true}} {
+			res, err := Compile(cfg, b.Circ, opts)
+			if err != nil {
+				t.Fatalf("%s: %v", b.Name, err)
+			}
+			if err := VerifySchedule(res, opts); err != nil {
+				t.Errorf("%s %+v: %v", b.Name, opts, err)
+			}
+		}
+	}
+}
+
+func TestVerifyScheduleDetectsCorruption(t *testing.T) {
+	cfg := hardware.DefaultConfig()
+	res, err := Compile(cfg, bench.QAOARegular(20, 3, 1), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find a stage with a gate and duplicate its first gate (qubit reuse).
+	for si := range res.Schedule.Stages {
+		st := &res.Schedule.Stages[si]
+		if len(st.Gates) > 0 {
+			st.Gates = append(st.Gates, st.Gates[0])
+			break
+		}
+	}
+	if err := VerifySchedule(res, Options{}); err == nil {
+		t.Errorf("corrupted schedule verified")
+	}
+}
+
+func TestVerifyScheduleDetectsIntraArrayGate(t *testing.T) {
+	cfg := hardware.DefaultConfig()
+	res, err := Compile(cfg, bench.QAOARegular(20, 3, 1), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Force a gate's second endpoint into the first endpoint's array by
+	// rewriting the site table.
+	for si := range res.Schedule.Stages {
+		st := &res.Schedule.Stages[si]
+		if len(st.Gates) > 0 {
+			g := st.Gates[0]
+			res.SiteOf[g.SlotB].Array = res.SiteOf[g.SlotA].Array
+			break
+		}
+	}
+	err = VerifySchedule(res, Options{})
+	if err == nil || !strings.Contains(err.Error(), "intra-array") {
+		t.Errorf("intra-array corruption not detected: %v", err)
+	}
+}
+
+func TestVerifyScheduleDetectsGateCountMismatch(t *testing.T) {
+	cfg := hardware.DefaultConfig()
+	res, err := Compile(cfg, bench.QAOARegular(20, 3, 1), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Metrics.N2Q++
+	if err := VerifySchedule(res, Options{}); err == nil {
+		t.Errorf("count mismatch not detected")
+	}
+}
+
+func TestExportJSONRoundTrips(t *testing.T) {
+	cfg := hardware.DefaultConfig()
+	res, err := Compile(cfg, bench.QAOARegular(16, 3, 1), Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ExportJSON(&buf, cfg, res); err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]interface{}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("export not valid JSON: %v", err)
+	}
+	if int(decoded["qubits"].(float64)) != 16 {
+		t.Errorf("qubits = %v", decoded["qubits"])
+	}
+	stages := decoded["stages"].([]interface{})
+	if len(stages) != len(res.Schedule.Stages) {
+		t.Errorf("stage count %d != %d", len(stages), len(res.Schedule.Stages))
+	}
+	arrays := decoded["arrays"].([]interface{})
+	if len(arrays) != cfg.NumArrays() {
+		t.Errorf("array count %d != %d", len(arrays), cfg.NumArrays())
+	}
+	first := arrays[0].(map[string]interface{})
+	if first["kind"] != "slm" {
+		t.Errorf("first array kind = %v, want slm", first["kind"])
+	}
+	m := decoded["metrics"].(map[string]interface{})
+	if int(m["two_qubit_gates"].(float64)) != res.Metrics.N2Q {
+		t.Errorf("metrics 2Q mismatch")
+	}
+}

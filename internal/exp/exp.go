@@ -1,0 +1,123 @@
+// Package exp contains one driver per table and figure of the paper's
+// evaluation (Sec. V). Each driver regenerates the corresponding artifact as
+// plain-text tables from fixed seeds; EXPERIMENTS.md records paper-vs-
+// measured values. Run them via cmd/experiments or the bench harness in
+// bench_test.go.
+package exp
+
+import (
+	"fmt"
+	"sort"
+
+	"atomique/internal/arch"
+	"atomique/internal/circuit"
+	"atomique/internal/core"
+	"atomique/internal/hardware"
+	"atomique/internal/metrics"
+	"atomique/internal/report"
+)
+
+// Experiment is a runnable table/figure reproduction.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func() []*report.Table
+}
+
+// All returns every experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{"tab1", "Table I: hardware parameters", Table1},
+		{"tab2", "Table II: benchmark characteristics", Table2},
+		{"tab3", "Table III: multi-qubit pulse counts vs Geyser", Table3},
+		{"fig12", "Fig 12: atom movement profile", Fig12},
+		{"fig13", "Fig 13: depth / 2Q gates / fidelity vs architectures", Fig13},
+		{"fig14", "Fig 14: comparison with solver-based compilers", Fig14},
+		{"fig15", "Fig 15: generic-circuit characteristic sweep", Fig15},
+		{"fig16", "Fig 16: QAOA characteristic sweep", Fig16},
+		{"fig17", "Fig 17: QSim characteristic sweep", Fig17},
+		{"fig18", "Fig 18: hardware-parameter sensitivity", Fig18},
+		{"fig19", "Fig 19: comparison with Q-Pilot", Fig19},
+		{"fig20", "Fig 20: array-topology sensitivity", Fig20},
+		{"fig21", "Fig 21: compiler-technique breakdown", Fig21},
+		{"fig22", "Fig 22: constraint relaxation", Fig22},
+		{"fig23", "Fig 23: variable AOD sizes", Fig23},
+		{"fig24", "Fig 24: overlap under extreme occupancy", Fig24},
+		{"fig25", "Fig 25: additional CNOTs from SWAP insertion", Fig25},
+		{"ablation", "Ablations: gamma decay, SABRE lookahead, reverse passes", Ablations},
+		{"scaling", "Scaling: compile time vs circuit size", Scaling},
+	}
+}
+
+// ByID returns the experiment with the given id.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// mustAtomique compiles with Atomique on the default machine, panicking on
+// configuration errors (experiment inputs are fixed and known-valid).
+func mustAtomique(cfg hardware.Config, c *circuit.Circuit, opts core.Options) metrics.Compiled {
+	res, err := core.Compile(cfg, c, opts)
+	if err != nil {
+		panic(fmt.Sprintf("exp: atomique compile failed: %v", err))
+	}
+	return res.Metrics
+}
+
+// mustArch compiles on a fixed baseline architecture.
+func mustArch(a arch.Arch, c *circuit.Circuit, seed int64) metrics.Compiled {
+	m, err := arch.Compile(a, c, seed)
+	if err != nil {
+		panic(fmt.Sprintf("exp: %s compile failed: %v", a.Name, err))
+	}
+	return m
+}
+
+// archNames lists the Fig 13 baseline order.
+var archNames = []string{
+	"Superconducting", "Baker-Long-Range", "FAA-Rectangular", "FAA-Triangular", "Atomique",
+}
+
+// compileAll runs the four baselines plus Atomique on a benchmark and
+// returns metrics keyed by architecture name.
+func compileAll(c *circuit.Circuit, seed int64) map[string]metrics.Compiled {
+	out := make(map[string]metrics.Compiled, 5)
+	for _, a := range arch.Baselines(c.N) {
+		out[a.Name] = mustArch(a, c, seed)
+	}
+	cfg := configFor(c.N)
+	out["Atomique"] = mustAtomique(cfg, c, core.Options{Seed: seed})
+	return out
+}
+
+// configFor returns the paper's default machine, grown just enough when a
+// benchmark exceeds the default 300-site capacity.
+func configFor(n int) hardware.Config {
+	cfg := hardware.DefaultConfig()
+	if n > cfg.Capacity() {
+		side := cfg.SLM.Rows
+		for 3*side*side < n {
+			side++
+		}
+		cfg = hardware.SquareConfig(side, 2)
+	}
+	return cfg
+}
+
+// geoMeanColumn extracts a metric across rows and appends its geometric mean.
+func geoMeanColumn(vals []float64) float64 { return metrics.GeoMean(vals) }
+
+// sortedKeys returns map keys in sorted order for deterministic output.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,42 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"atomique/internal/bench"
+	"atomique/internal/report"
+	"atomique/internal/solverref"
+)
+
+// Scaling measures compilation time versus circuit size for Atomique and
+// Tan-IterP — the scalability claim behind Fig 14 and Table II ("the
+// solver-based compiler times out beyond ~20 qubits; Atomique compiles
+// 100-qubit circuits in milliseconds").
+func Scaling() []*report.Table {
+	t := &report.Table{
+		Title: "Scaling: compile time vs circuit size (QAOA, 3-regular)",
+		Header: []string{"Qubits", "2Q gates", "Atomique (ms)", "Tan-IterP (ms)",
+			"Atomique depth", "IterP depth"},
+		Notes: []string{"Tan-Solver is omitted beyond toy sizes (exponential); " +
+			"see Table II for its timeout frontier"},
+	}
+	for _, n := range []int{10, 20, 40, 60, 80, 100} {
+		c := bench.QAOARegular(n, 3, int64(n))
+		cfg := configFor(n)
+
+		start := time.Now()
+		at := mustAtomique(cfg, c, coreOptions(1))
+		atMS := float64(time.Since(start).Microseconds()) / 1000
+
+		iterp, err := solverref.Compile(c, solverref.Options{Mode: solverref.IterP, Seed: 1})
+		if err != nil {
+			panic(err)
+		}
+		t.AddRow(n, c.Num2Q(),
+			fmt.Sprintf("%.2f", atMS),
+			fmt.Sprintf("%.2f", float64(iterp.Metrics.CompileTime.Microseconds())/1000),
+			at.Depth2Q, iterp.Metrics.Depth2Q)
+	}
+	return []*report.Table{t}
+}

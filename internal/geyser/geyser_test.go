@@ -1,0 +1,74 @@
+package geyser
+
+import (
+	"testing"
+
+	"atomique/internal/bench"
+	"atomique/internal/circuit"
+)
+
+func TestBlockCountSimple(t *testing.T) {
+	// Three gates on the same two qubits: one block.
+	c := circuit.New(4)
+	c.CX(0, 1)
+	c.H(0)
+	c.CX(0, 1)
+	if got := BlockCount(c); got != 1 {
+		t.Errorf("BlockCount = %d, want 1", got)
+	}
+	// Gates spanning four distinct qubits: at least two blocks.
+	d := circuit.New(4)
+	d.CX(0, 1)
+	d.CX(2, 3)
+	d.CX(1, 2)
+	if got := BlockCount(d); got < 2 {
+		t.Errorf("BlockCount = %d, want >= 2", got)
+	}
+}
+
+func TestBlockCountEmpty(t *testing.T) {
+	if got := BlockCount(circuit.New(3)); got != 0 {
+		t.Errorf("BlockCount(empty) = %d, want 0", got)
+	}
+}
+
+func TestBlockingBeatsOneBlockPerGate(t *testing.T) {
+	c := bench.QV(16, 8, 1)
+	blocks := BlockCount(c)
+	if blocks >= c.NumGates() {
+		t.Errorf("blocking gained nothing: %d blocks for %d gates", blocks, c.NumGates())
+	}
+	if blocks == 0 {
+		t.Errorf("no blocks produced")
+	}
+}
+
+func TestAtomiqueBeatsGeyserOnPulses(t *testing.T) {
+	// Table III's qualitative claim: Atomique uses fewer pulses, up to 6.5x.
+	// BV circuits are the extreme case (sparse interaction, heavy blocking
+	// overhead under Geyser).
+	c := bench.BV(50, 22, 4)
+	g, err := Compile(c, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Atomique compiles BV-50 with no SWAPs: 22 two-qubit gates.
+	atomPulses := AtomiquePulses(22)
+	if atomPulses >= g.Pulses {
+		t.Errorf("Atomique pulses %d >= Geyser pulses %d", atomPulses, g.Pulses)
+	}
+}
+
+func TestCompileAccountsRouting(t *testing.T) {
+	c := bench.MerminBell(10, 58, 2)
+	g, err := Compile(c, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Pulses != g.Blocks*PulsesPerBlock {
+		t.Errorf("pulse arithmetic wrong: %d != %d*%d", g.Pulses, g.Blocks, PulsesPerBlock)
+	}
+	if g.Routed2Q < c.Num2Q() {
+		t.Errorf("routed 2Q %d below source %d", g.Routed2Q, c.Num2Q())
+	}
+}

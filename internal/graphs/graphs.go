@@ -1,0 +1,243 @@
+// Package graphs provides the graph machinery the compilers share: the
+// weighted gate-frequency graph and the greedy MAX k-cut of Atomique's
+// qubit-array mapper (Alg. 1), coupling graphs with all-pairs shortest-path
+// distances for SABRE routing, builders for the baseline hardware topologies
+// (heavy-hex, rectangular, triangular, long-range, complete multipartite),
+// and random / regular interaction-graph generators for the QAOA benchmarks.
+package graphs
+
+import (
+	"math"
+	"math/rand"
+
+	"atomique/internal/circuit"
+)
+
+// Weighted is a symmetric edge-weighted graph on n vertices stored densely;
+// it is the gate-frequency graph of Atomique's qubit-array mapper.
+type Weighted struct {
+	N int
+	W [][]float64
+}
+
+// NewWeighted returns an n-vertex graph with zero weights.
+func NewWeighted(n int) *Weighted {
+	w := make([][]float64, n)
+	for i := range w {
+		w[i] = make([]float64, n)
+	}
+	return &Weighted{N: n, W: w}
+}
+
+// AddWeight adds weight dw to the undirected edge (a,b).
+func (g *Weighted) AddWeight(a, b int, dw float64) {
+	g.W[a][b] += dw
+	g.W[b][a] += dw
+}
+
+// TotalWeight returns the sum of all edge weights (each edge once).
+func (g *Weighted) TotalWeight() float64 {
+	t := 0.0
+	for i := 0; i < g.N; i++ {
+		for j := i + 1; j < g.N; j++ {
+			t += g.W[i][j]
+		}
+	}
+	return t
+}
+
+// VertexWeight returns the total weight incident on vertex v.
+func (g *Weighted) VertexWeight(v int) float64 {
+	t := 0.0
+	for j := 0; j < g.N; j++ {
+		t += g.W[v][j]
+	}
+	return t
+}
+
+// GateFrequency builds the gate-frequency graph of a circuit: each two-qubit
+// gate contributes gamma^layer to its qubit-pair edge, where layer is the
+// gate's ASAP layer. gamma in (0,1] decays the influence of later gates, as
+// the paper prescribes (later gates benefit less from the initial mapping).
+func GateFrequency(c *circuit.Circuit, gamma float64) *Weighted {
+	g := NewWeighted(c.N)
+	layerOf, _ := c.Layers()
+	for i, gt := range c.Gates {
+		if gt.IsTwoQubit() {
+			g.AddWeight(gt.Q0, gt.Q1, math.Pow(gamma, float64(layerOf[i])))
+		}
+	}
+	return g
+}
+
+// MaxKCutGreedy partitions the vertices of g into k parts with the greedy
+// 1-1/k approximation used by Alg. 1: vertices are assigned one at a time
+// (in descending order of incident weight, which dominates the paper's
+// index-order variant) to the part that maximises the cut against already
+// assigned vertices, subject to per-part capacities (capacity <= 0 means
+// unbounded). Returns the part index per vertex.
+func MaxKCutGreedy(g *Weighted, k int, capacity []int) []int {
+	if k <= 0 {
+		panic("graphs: MaxKCutGreedy requires k >= 1")
+	}
+	part := make([]int, g.N)
+	for i := range part {
+		part[i] = -1
+	}
+	order := make([]int, g.N)
+	for i := range order {
+		order[i] = i
+	}
+	// Descending incident weight; ties by index for determinism.
+	weights := make([]float64, g.N)
+	for i := range weights {
+		weights[i] = g.VertexWeight(i)
+	}
+	sortByWeightDesc(order, weights)
+
+	size := make([]int, k)
+	for _, v := range order {
+		best, bestCut := -1, math.Inf(-1)
+		for j := 0; j < k; j++ {
+			if capacity != nil && capacity[j] > 0 && size[j] >= capacity[j] {
+				continue
+			}
+			// Cut gained by placing v in j = weight to vertices NOT in j
+			// (unassigned vertices contribute equally, so this reduces to
+			// total minus weight into part j).
+			intoJ := 0.0
+			for u := 0; u < g.N; u++ {
+				if part[u] == j {
+					intoJ += g.W[v][u]
+				}
+			}
+			cut := weights[v] - intoJ
+			// Light tie-break toward balanced parts so unconstrained circuits
+			// still spread across arrays.
+			cut -= 1e-9 * float64(size[j])
+			if cut > bestCut {
+				bestCut, best = cut, j
+			}
+		}
+		if best < 0 {
+			panic("graphs: MaxKCutGreedy ran out of capacity")
+		}
+		part[v] = best
+		size[best]++
+	}
+	return part
+}
+
+// CutWeight returns the total weight of edges crossing parts.
+func CutWeight(g *Weighted, part []int) float64 {
+	t := 0.0
+	for i := 0; i < g.N; i++ {
+		for j := i + 1; j < g.N; j++ {
+			if part[i] != part[j] {
+				t += g.W[i][j]
+			}
+		}
+	}
+	return t
+}
+
+func sortByWeightDesc(order []int, w []float64) {
+	// Insertion-free: simple stable sort via sort.SliceStable equivalent,
+	// hand-rolled to keep determinism obvious.
+	for i := 1; i < len(order); i++ {
+		v := order[i]
+		j := i - 1
+		for j >= 0 && less(v, order[j], w) {
+			order[j+1] = order[j]
+			j--
+		}
+		order[j+1] = v
+	}
+}
+
+func less(a, b int, w []float64) bool {
+	if w[a] != w[b] {
+		return w[a] > w[b]
+	}
+	return a < b
+}
+
+// Edge is an undirected vertex pair with a < b.
+type Edge struct{ A, B int }
+
+// RandomGraph returns the edges of an Erdos-Renyi G(n,p) graph using rng.
+func RandomGraph(n int, p float64, rng *rand.Rand) []Edge {
+	var edges []Edge
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < p {
+				edges = append(edges, Edge{i, j})
+			}
+		}
+	}
+	return edges
+}
+
+// RegularGraph returns the edges of a d-regular graph on n vertices
+// (n*d must be even, d < n). It starts from a circulant lattice and applies
+// degree-preserving double-edge swaps, so construction always succeeds and is
+// deterministic for a fixed rng state.
+func RegularGraph(n, d int, rng *rand.Rand) []Edge {
+	if n*d%2 != 0 {
+		panic("graphs: RegularGraph requires n*d even")
+	}
+	if d >= n {
+		panic("graphs: RegularGraph requires d < n")
+	}
+	norm := func(a, b int) Edge {
+		if a > b {
+			a, b = b, a
+		}
+		return Edge{a, b}
+	}
+	seen := make(map[Edge]bool)
+	var edges []Edge
+	add := func(a, b int) {
+		e := norm(a, b)
+		if !seen[e] {
+			seen[e] = true
+			edges = append(edges, e)
+		}
+	}
+	// Circulant base: each vertex links to its d/2 nearest successors, plus
+	// the antipode when d is odd (n is even in that case since n*d is even).
+	for v := 0; v < n; v++ {
+		for step := 1; step <= d/2; step++ {
+			add(v, (v+step)%n)
+		}
+	}
+	if d%2 == 1 {
+		for v := 0; v < n/2; v++ {
+			add(v, v+n/2)
+		}
+	}
+	// Randomise with double-edge swaps: (a,b),(c,e) -> (a,c),(b,e) when legal.
+	for swaps := 0; swaps < 10*len(edges); swaps++ {
+		i, j := rng.Intn(len(edges)), rng.Intn(len(edges))
+		if i == j {
+			continue
+		}
+		e1, e2 := edges[i], edges[j]
+		a, b, c, e := e1.A, e1.B, e2.A, e2.B
+		if rng.Intn(2) == 0 {
+			c, e = e, c
+		}
+		if a == c || a == e || b == c || b == e {
+			continue
+		}
+		n1, n2 := norm(a, c), norm(b, e)
+		if seen[n1] || seen[n2] {
+			continue
+		}
+		delete(seen, e1)
+		delete(seen, e2)
+		seen[n1], seen[n2] = true, true
+		edges[i], edges[j] = n1, n2
+	}
+	return edges
+}

@@ -1,0 +1,158 @@
+package graphs
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"atomique/internal/circuit"
+)
+
+func TestWeightedBasics(t *testing.T) {
+	g := NewWeighted(3)
+	g.AddWeight(0, 1, 2)
+	g.AddWeight(1, 2, 1)
+	if g.TotalWeight() != 3 {
+		t.Errorf("TotalWeight = %v, want 3", g.TotalWeight())
+	}
+	if g.VertexWeight(1) != 3 {
+		t.Errorf("VertexWeight(1) = %v, want 3", g.VertexWeight(1))
+	}
+	if g.W[1][0] != 2 || g.W[0][1] != 2 {
+		t.Errorf("weights not symmetric")
+	}
+}
+
+func TestGateFrequencyDecay(t *testing.T) {
+	c := circuit.New(4)
+	c.CX(0, 1) // layer 0: weight 1
+	c.CX(0, 1) // layer 1: weight gamma
+	c.CX(2, 3) // layer 0: weight 1
+	g := GateFrequency(c, 0.5)
+	if got := g.W[0][1]; got != 1.5 {
+		t.Errorf("W[0][1] = %v, want 1.5", got)
+	}
+	if got := g.W[2][3]; got != 1.0 {
+		t.Errorf("W[2][3] = %v, want 1.0", got)
+	}
+}
+
+func TestMaxKCutSeparatesHeavyEdge(t *testing.T) {
+	// Two cliques joined by one heavy edge: the heavy edge should be cut.
+	g := NewWeighted(4)
+	g.AddWeight(0, 1, 10)
+	g.AddWeight(2, 3, 10)
+	g.AddWeight(0, 2, 0.1)
+	part := MaxKCutGreedy(g, 2, nil)
+	if part[0] == part[1] {
+		t.Errorf("heavy edge (0,1) not cut: parts %v", part)
+	}
+	if part[2] == part[3] {
+		t.Errorf("heavy edge (2,3) not cut: parts %v", part)
+	}
+}
+
+func TestMaxKCutRespectsCapacity(t *testing.T) {
+	g := NewWeighted(6)
+	for i := 0; i < 6; i++ {
+		for j := i + 1; j < 6; j++ {
+			g.AddWeight(i, j, 1)
+		}
+	}
+	part := MaxKCutGreedy(g, 3, []int{2, 2, 2})
+	counts := map[int]int{}
+	for _, p := range part {
+		counts[p]++
+	}
+	for p, n := range counts {
+		if n > 2 {
+			t.Errorf("part %d has %d vertices, cap 2", p, n)
+		}
+	}
+}
+
+func TestMaxKCutPanics(t *testing.T) {
+	g := NewWeighted(3)
+	mustPanic(t, func() { MaxKCutGreedy(g, 0, nil) })
+	// Three vertices, two parts of capacity one: placement must run out.
+	mustPanic(t, func() { MaxKCutGreedy(g, 2, []int{1, 1}) })
+}
+
+func mustPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	f()
+}
+
+// Property: greedy MAX k-cut achieves at least (1 - 1/k) of total weight on
+// random graphs — the approximation bound the paper cites.
+func TestMaxKCutApproximationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(12)
+		k := 2 + rng.Intn(3)
+		g := NewWeighted(n)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.5 {
+					g.AddWeight(i, j, rng.Float64())
+				}
+			}
+		}
+		part := MaxKCutGreedy(g, k, nil)
+		total := g.TotalWeight()
+		if total == 0 {
+			return true
+		}
+		return CutWeight(g, part) >= (1-1/float64(k))*total-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomGraphDensity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	edges := RandomGraph(40, 0.5, rng)
+	max := 40 * 39 / 2
+	if len(edges) < max/3 || len(edges) > 2*max/3 {
+		t.Errorf("G(40,0.5) edge count %d implausible (max %d)", len(edges), max)
+	}
+	for _, e := range edges {
+		if e.A >= e.B {
+			t.Fatalf("edge not ordered: %v", e)
+		}
+	}
+}
+
+func TestRegularGraphDegrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, tc := range []struct{ n, d int }{{10, 3}, {20, 4}, {40, 5}, {100, 6}} {
+		edges := RegularGraph(tc.n, tc.d, rng)
+		deg := make([]int, tc.n)
+		seen := map[Edge]bool{}
+		for _, e := range edges {
+			deg[e.A]++
+			deg[e.B]++
+			if seen[e] {
+				t.Fatalf("duplicate edge %v in %d-regular graph", e, tc.d)
+			}
+			seen[e] = true
+		}
+		for v, dg := range deg {
+			if dg != tc.d {
+				t.Fatalf("vertex %d degree %d, want %d (n=%d)", v, dg, tc.d, tc.n)
+			}
+		}
+	}
+}
+
+func TestRegularGraphPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	mustPanic(t, func() { RegularGraph(5, 3, rng) }) // odd n*d
+	mustPanic(t, func() { RegularGraph(4, 4, rng) }) // d >= n
+}

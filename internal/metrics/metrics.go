@@ -1,0 +1,58 @@
+// Package metrics defines the result record every compiler in this
+// repository produces, mirroring the quantities the paper's evaluation
+// reports: two-qubit gate count, two-qubit depth, fidelity breakdown,
+// SWAP-inserted CNOTs (Fig 25), execution time and movement distance
+// (Figs 20/22-24), and compile time (Fig 14).
+package metrics
+
+import (
+	"math"
+	"time"
+
+	"atomique/internal/fidelity"
+)
+
+// Compiled summarises one compilation outcome.
+type Compiled struct {
+	Name string // benchmark name
+	Arch string // architecture/compiler label
+
+	NQubits   int
+	N2Q       int // two-qubit interactions executed (incl. SWAP decomposition)
+	N1Q       int // one-qubit gates executed
+	Depth2Q   int // parallel two-qubit layers (router stages on RAA)
+	N1QLayers int // parallel one-qubit layers
+
+	SwapCount  int // SWAPs inserted during routing
+	AddedCNOTs int // CNOT overhead of SWAP insertion (3 per SWAP)
+
+	ExecutionTime float64 // wall-clock schedule length in seconds
+	MoveStages    int     // movement stages (RAA only)
+	TotalMoveDist float64 // total atom movement in meters (RAA only)
+	AvgMoveDist   float64 // average movement distance per stage in meters
+	CoolingEvents int     // AOD cooling swaps performed
+	Overlaps      int     // gates rejected from a stage by the overlap rule
+
+	CompileTime time.Duration
+	Fidelity    fidelity.Breakdown
+}
+
+// FidelityTotal is shorthand for the total fidelity product.
+func (c Compiled) FidelityTotal() float64 { return c.Fidelity.Total() }
+
+// GeoMean returns the geometric mean of vals, skipping non-positive entries
+// (the paper's GMean columns clamp zeros the same way).
+func GeoMean(vals []float64) float64 {
+	prod := 1.0
+	n := 0
+	for _, v := range vals {
+		if v > 0 {
+			prod *= v
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Pow(prod, 1/float64(n))
+}

@@ -1,0 +1,49 @@
+package qasm
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"atomique/internal/core"
+	"atomique/internal/hardware"
+)
+
+// TestParseCorpus parses every file in testdata and compiles it end to end
+// with Atomique — the real ingestion path for external benchmark suites.
+func TestParseCorpus(t *testing.T) {
+	files, err := filepath.Glob("testdata/*.qasm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no testdata files")
+	}
+	wantGates := map[string]int{
+		"ghz4.qasm":          4, // measures skipped
+		"qaoa_triangle.qasm": 9,
+		"teleport.qasm":      7,
+	}
+	cfg := hardware.SquareConfig(4, 2)
+	for _, f := range files {
+		fh, err := os.Open(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := Parse(fh)
+		fh.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		if want, ok := wantGates[filepath.Base(f)]; ok && c.NumGates() != want {
+			t.Errorf("%s: gates = %d, want %d", f, c.NumGates(), want)
+		}
+		res, err := core.Compile(cfg, c, core.Options{Seed: 1})
+		if err != nil {
+			t.Fatalf("%s: compile: %v", f, err)
+		}
+		if err := core.VerifySchedule(res, core.Options{}); err != nil {
+			t.Errorf("%s: %v", f, err)
+		}
+	}
+}

@@ -1,0 +1,35 @@
+package sabre
+
+import (
+	"testing"
+
+	"atomique/internal/bench"
+	"atomique/internal/graphs"
+)
+
+func BenchmarkRouteHeavyHex(b *testing.B) {
+	cg := graphs.HeavyHex(127)
+	c := bench.QSimRandom(40, 10, 0.5, 7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Route(c, cg, Options{Seed: 1})
+	}
+}
+
+func BenchmarkRouteGrid(b *testing.B) {
+	cg := graphs.Grid(7, 7)
+	c := bench.QAOARegular(40, 5, 15)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Route(c, cg, Options{Seed: 1})
+	}
+}
+
+func BenchmarkRouteMultipartite(b *testing.B) {
+	cg := graphs.CompleteMultipartite([]int{34, 33, 33})
+	c := bench.QSimRandom(100, 10, 0.5, 30)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Route(c, cg, Options{Seed: 1})
+	}
+}

@@ -1,0 +1,115 @@
+package sabre
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"atomique/internal/circuit"
+	"atomique/internal/graphs"
+	"atomique/internal/sim"
+)
+
+// TestRoutingPreservesSemantics verifies end to end that the routed physical
+// circuit implements exactly the source circuit: simulate the source on
+// logical qubits, simulate the routed circuit on device qubits starting from
+// the initial mapping, and compare against the final mapping's embedding.
+func TestRoutingPreservesSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 5; trial++ {
+		n := 4 + rng.Intn(4)
+		cg := graphs.Grid(3, 3)
+		c := randomMixedCircuit(rng, n, 20+rng.Intn(40))
+		checkEquivalence(t, c, cg, Options{Seed: int64(trial)})
+	}
+}
+
+func TestRoutingSemanticsOnMultipartite(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	cg := graphs.CompleteMultipartite([]int{3, 3, 3})
+	c := randomMixedCircuit(rng, 9, 50)
+	checkEquivalence(t, c, cg, Options{Seed: 3})
+}
+
+func checkEquivalence(t *testing.T, c *circuit.Circuit, cg *graphs.Coupling, opts Options) {
+	t.Helper()
+	if cg.N > 12 {
+		t.Fatalf("equivalence check limited to 12 device qubits")
+	}
+	r := Route(c, cg, opts)
+
+	// Source semantics on logical qubits.
+	src := sim.NewState(c.N)
+	src.Run(c)
+	// Routed semantics on device qubits: logical q starts at
+	// InitialMapping[q] and ends at FinalMapping[q].
+	dev := sim.NewState(cg.N)
+	devInit := sim.NewState(c.N).Embed(cg.N, r.InitialMapping)
+	copy(dev.Amp, devInit.Amp)
+	dev.Run(r.Routed)
+
+	expected := src.Embed(cg.N, r.FinalMapping)
+	if f := sim.Fidelity(dev, expected); f < 1-1e-7 {
+		t.Fatalf("routing broke semantics: fidelity %v (swaps %d)", f, r.SwapCount)
+	}
+}
+
+func randomMixedCircuit(rng *rand.Rand, n, gates int) *circuit.Circuit {
+	c := circuit.New(n)
+	for i := 0; i < gates; i++ {
+		switch rng.Intn(7) {
+		case 0:
+			c.H(rng.Intn(n))
+		case 1:
+			c.RZ(rng.Intn(n), rng.Float64()*6)
+		case 2:
+			c.RY(rng.Intn(n), rng.Float64()*6)
+		case 3, 4:
+			a, b := two(n, rng)
+			c.CX(a, b)
+		case 5:
+			a, b := two(n, rng)
+			c.CZ(a, b)
+		case 6:
+			a, b := two(n, rng)
+			c.ZZ(a, b, rng.Float64()*6)
+		}
+	}
+	return c
+}
+
+func two(n int, rng *rand.Rand) (int, int) {
+	a := rng.Intn(n)
+	b := rng.Intn(n - 1)
+	if b >= a {
+		b++
+	}
+	return a, b
+}
+
+// Property: routing preserves semantics on random line/grid devices.
+func TestRoutingSemanticsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows, cols := 1+rng.Intn(3), 2+rng.Intn(3)
+		if rows*cols < 2 {
+			return true
+		}
+		cg := graphs.Grid(rows, cols)
+		n := 2 + rng.Intn(cg.N-1)
+		c := randomMixedCircuit(rng, n, 5+rng.Intn(40))
+		r := Route(c, cg, Options{Seed: seed})
+
+		src := sim.NewState(c.N)
+		src.Run(c)
+		dev := sim.NewState(cg.N)
+		init := sim.NewState(c.N).Embed(cg.N, r.InitialMapping)
+		copy(dev.Amp, init.Amp)
+		dev.Run(r.Routed)
+		expected := src.Embed(cg.N, r.FinalMapping)
+		return sim.Fidelity(dev, expected) > 1-1e-7
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,81 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"atomique/internal/circuit"
+)
+
+// Property: C followed by C.Inverse() is the identity on random states —
+// the simulator and the circuit-inversion rules agree exactly.
+func TestInverseIsIdentityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(5)
+		c := circuit.New(n)
+		for i := 0; i < 5+rng.Intn(40); i++ {
+			switch rng.Intn(9) {
+			case 0:
+				c.H(rng.Intn(n))
+			case 1:
+				c.X(rng.Intn(n))
+			case 2:
+				c.Add1Q(circuit.OpS, rng.Intn(n), 0)
+			case 3:
+				c.Add1Q(circuit.OpT, rng.Intn(n), 0)
+			case 4:
+				c.RZ(rng.Intn(n), rng.Float64()*7)
+			case 5:
+				c.RY(rng.Intn(n), rng.Float64()*7)
+			case 6, 7:
+				a, b := pick2(n, rng)
+				c.CX(a, b)
+			case 8:
+				a, b := pick2(n, rng)
+				c.ZZ(a, b, rng.Float64()*7)
+			}
+		}
+		in := randomProductState(n, rng)
+		out := in.Clone()
+		out.Run(c)
+		out.Run(c.Inverse())
+		return Fidelity(in, out) > 1-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Remap conjugation is consistent — running a remapped circuit on
+// a permuted state equals permuting the result of the original circuit.
+func TestRemapConsistencyProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(4)
+		c := circuit.New(n)
+		for i := 0; i < 5+rng.Intn(20); i++ {
+			if rng.Intn(2) == 0 {
+				c.H(rng.Intn(n))
+			} else {
+				a, b := pick2(n, rng)
+				c.CX(a, b)
+			}
+		}
+		perm := rng.Perm(n)
+		in := randomProductState(n, rng)
+
+		// Path 1: run original, then permute.
+		s1 := in.Clone()
+		s1.Run(c)
+		s1 = s1.Permute(perm)
+		// Path 2: permute input, run remapped circuit.
+		s2 := in.Permute(perm)
+		s2.Run(c.Remap(n, perm))
+		return Fidelity(s1, s2) > 1-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,260 @@
+package sim
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"atomique/internal/circuit"
+)
+
+const eps = 1e-9
+
+func TestBellState(t *testing.T) {
+	c := circuit.New(2)
+	c.H(0)
+	c.CX(0, 1)
+	s := NewState(2)
+	s.Run(c)
+	inv := 1 / math.Sqrt2
+	if cmplx.Abs(s.Amp[0]-complex(inv, 0)) > eps ||
+		cmplx.Abs(s.Amp[3]-complex(inv, 0)) > eps ||
+		cmplx.Abs(s.Amp[1]) > eps || cmplx.Abs(s.Amp[2]) > eps {
+		t.Fatalf("Bell state wrong: %v", s.Amp)
+	}
+}
+
+func TestPauliAlgebra(t *testing.T) {
+	// HZH = X; HXH = Z; S^2 = Z; T^2 = S.
+	for _, tc := range []struct {
+		name string
+		a, b *circuit.Circuit
+	}{
+		{"HZH=X", seq(1, "h z h"), seq(1, "x")},
+		{"HXH=Z", seq(1, "h x h"), seq(1, "z")},
+		{"SS=Z", seq(1, "s s"), seq(1, "z")},
+		{"TT=S", seq(1, "t t"), seq(1, "s")},
+	} {
+		if !equivalentOn(tc.a, tc.b, 1) {
+			t.Errorf("%s failed", tc.name)
+		}
+	}
+}
+
+func seq(n int, ops string) *circuit.Circuit {
+	c := circuit.New(n)
+	for _, op := range splitWords(ops) {
+		switch op {
+		case "h":
+			c.H(0)
+		case "x":
+			c.X(0)
+		case "z":
+			c.Add1Q(circuit.OpZ, 0, 0)
+		case "s":
+			c.Add1Q(circuit.OpS, 0, 0)
+		case "t":
+			c.Add1Q(circuit.OpT, 0, 0)
+		}
+	}
+	return c
+}
+
+func splitWords(s string) []string {
+	var out []string
+	cur := ""
+	for _, r := range s + " " {
+		if r == ' ' {
+			if cur != "" {
+				out = append(out, cur)
+				cur = ""
+			}
+			continue
+		}
+		cur += string(r)
+	}
+	return out
+}
+
+// equivalentOn checks equality (up to global phase) of the two circuits on a
+// set of random product-state inputs.
+func equivalentOn(a, b *circuit.Circuit, n int) bool {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 5; trial++ {
+		in := randomProductState(n, rng)
+		sa, sb := in.Clone(), in.Clone()
+		sa.Run(a)
+		sb.Run(b)
+		if Fidelity(sa, sb) < 1-1e-9 {
+			return false
+		}
+	}
+	return true
+}
+
+func randomProductState(n int, rng *rand.Rand) *State {
+	c := circuit.New(n)
+	for q := 0; q < n; q++ {
+		c.RY(q, rng.Float64()*math.Pi)
+		c.RZ(q, rng.Float64()*2*math.Pi)
+	}
+	s := NewState(n)
+	s.Run(c)
+	return s
+}
+
+func TestSwapEqualsThreeCX(t *testing.T) {
+	a := circuit.New(2)
+	a.Add2Q(circuit.OpSWAP, 0, 1, 0)
+	b := circuit.New(2)
+	b.CX(0, 1)
+	b.CX(1, 0)
+	b.CX(0, 1)
+	if !equivalentOn(a, b, 2) {
+		t.Fatalf("SWAP != CX^3")
+	}
+}
+
+func TestZZEqualsCXRZCX(t *testing.T) {
+	theta := 0.7321
+	a := circuit.New(2)
+	a.ZZ(0, 1, theta)
+	b := circuit.New(2)
+	b.CX(0, 1)
+	b.RZ(1, theta)
+	b.CX(1, 0) // deliberately wrong decomposition: must NOT be equivalent
+	if equivalentOn(a, b, 2) {
+		t.Fatalf("wrong decomposition accepted")
+	}
+	good := circuit.New(2)
+	good.CX(0, 1)
+	good.RZ(1, theta)
+	good.CX(0, 1)
+	if !equivalentOn(a, good, 2) {
+		t.Fatalf("ZZ != CX.RZ.CX")
+	}
+}
+
+func TestCZSymmetric(t *testing.T) {
+	a := circuit.New(2)
+	a.CZ(0, 1)
+	b := circuit.New(2)
+	b.CZ(1, 0)
+	if !equivalentOn(a, b, 2) {
+		t.Fatalf("CZ not symmetric")
+	}
+}
+
+func TestCXEqualsHCZH(t *testing.T) {
+	a := circuit.New(2)
+	a.CX(0, 1)
+	b := circuit.New(2)
+	b.H(1)
+	b.CZ(0, 1)
+	b.H(1)
+	if !equivalentOn(a, b, 2) {
+		t.Fatalf("CX != H.CZ.H")
+	}
+}
+
+func TestPermute(t *testing.T) {
+	// |01> (qubit0=1) permuted by {0->1,1->0} becomes |10>.
+	s := NewState(2)
+	s.Amp[0], s.Amp[1] = 0, 1 // basis index 1 = qubit0 set
+	p := s.Permute([]int{1, 0})
+	if cmplx.Abs(p.Amp[2]-1) > eps {
+		t.Fatalf("Permute wrong: %v", p.Amp)
+	}
+}
+
+func TestEmbed(t *testing.T) {
+	s := NewState(1)
+	s.Amp[0], s.Amp[1] = 0, 1 // |1>
+	e := s.Embed(3, []int{2})
+	if cmplx.Abs(e.Amp[4]-1) > eps {
+		t.Fatalf("Embed wrong: %v", e.Amp)
+	}
+	if math.Abs(e.Norm()-1) > eps {
+		t.Fatalf("Embed lost norm")
+	}
+}
+
+// Property: every supported gate is unitary (norm preserved), and RZ/RX/RY
+// compose additively in angle.
+func TestUnitarityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(5)
+		s := randomProductState(n, rng)
+		c := circuit.New(n)
+		for i := 0; i < 30; i++ {
+			switch rng.Intn(6) {
+			case 0:
+				c.H(rng.Intn(n))
+			case 1:
+				c.RZ(rng.Intn(n), rng.Float64()*7)
+			case 2:
+				c.RX(rng.Intn(n), rng.Float64()*7)
+			case 3, 4:
+				a, b := pick2(n, rng)
+				c.CX(a, b)
+			case 5:
+				a, b := pick2(n, rng)
+				c.ZZ(a, b, rng.Float64()*7)
+			}
+		}
+		s.Run(c)
+		return math.Abs(s.Norm()-1) < 1e-7
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: rotation composition RZ(a)RZ(b) == RZ(a+b).
+func TestRotationCompositionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := rng.Float64()*4, rng.Float64()*4
+		c1 := circuit.New(1)
+		c1.RZ(0, a)
+		c1.RZ(0, b)
+		c2 := circuit.New(1)
+		c2.RZ(0, a+b)
+		return equivalentOn(c1, c2, 1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func pick2(n int, rng *rand.Rand) (int, int) {
+	a := rng.Intn(n)
+	b := rng.Intn(n - 1)
+	if b >= a {
+		b++
+	}
+	return a, b
+}
+
+func TestStateGuards(t *testing.T) {
+	mustPanic(t, func() { NewState(-1) })
+	mustPanic(t, func() { NewState(30) })
+	s := NewState(1)
+	mustPanic(t, func() { s.Run(circuit.New(3)) })
+	mustPanic(t, func() { s.Permute([]int{0, 1}) })
+	t2 := NewState(2)
+	mustPanic(t, func() { Fidelity(s, t2) })
+}
+
+func mustPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	f()
+}

@@ -1,0 +1,106 @@
+// Package viz renders RAA machine states and schedules as ASCII diagrams:
+// the trap-array occupancy after placement and, stage by stage, which AOD
+// rows/columns move where and which atom pairs interact. Used by the CLI's
+// -viz flag and handy when debugging placements.
+package viz
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"atomique/internal/core"
+	"atomique/internal/hardware"
+)
+
+// Placement draws each array as a grid: occupied sites show the slot index
+// (mod 100) of the atom parked there, empty traps show "..".
+func Placement(w io.Writer, cfg hardware.Config, res *core.Result) {
+	occ := map[hardware.Site]int{}
+	for slot, s := range res.SiteOf {
+		occ[s] = slot
+	}
+	for a := 0; a < cfg.NumArrays(); a++ {
+		spec := cfg.Array(a)
+		name := "SLM"
+		if a > 0 {
+			name = fmt.Sprintf("AOD%d", a-1)
+		}
+		fmt.Fprintf(w, "%s (%dx%d):\n", name, spec.Rows, spec.Cols)
+		for r := 0; r < spec.Rows; r++ {
+			var row []string
+			for c := 0; c < spec.Cols; c++ {
+				if slot, ok := occ[hardware.Site{Array: a, Row: r, Col: c}]; ok {
+					row = append(row, fmt.Sprintf("%02d", slot%100))
+				} else {
+					row = append(row, "..")
+				}
+			}
+			fmt.Fprintln(w, " "+strings.Join(row, " "))
+		}
+	}
+}
+
+// Stage describes one schedule stage in prose-diagram form: the 1Q batch,
+// each row/column translation (in site-pitch units), and the gate pairs.
+func Stage(w io.Writer, cfg hardware.Config, res *core.Result, idx int) {
+	if idx < 0 || idx >= len(res.Schedule.Stages) {
+		fmt.Fprintf(w, "stage %d out of range (0..%d)\n", idx, len(res.Schedule.Stages)-1)
+		return
+	}
+	st := res.Schedule.Stages[idx]
+	pitch := cfg.Params.AtomDistance
+	fmt.Fprintf(w, "stage %d:\n", idx)
+	if len(st.OneQ) > 0 {
+		names := make([]string, 0, len(st.OneQ))
+		for _, g := range st.OneQ {
+			names = append(names, fmt.Sprintf("%s@%s", g.Op, res.SiteOf[g.SlotA]))
+		}
+		fmt.Fprintf(w, "  raman: %s\n", strings.Join(names, " "))
+	}
+	for _, m := range st.Moves {
+		axis := "col"
+		if m.IsRow {
+			axis = "row"
+		}
+		fmt.Fprintf(w, "  move AOD%d %s %d: %+.2f -> %+.2f pitches (%.1f um)\n",
+			m.Array-1, axis, m.Index, m.From/pitch, m.To/pitch, m.Distance()*1e6)
+	}
+	for _, g := range st.Gates {
+		fmt.Fprintf(w, "  rydberg: %s %s <-> %s\n", g.Op,
+			res.SiteOf[g.SlotA], res.SiteOf[g.SlotB])
+	}
+}
+
+// Schedule renders every stage.
+func Schedule(w io.Writer, cfg hardware.Config, res *core.Result) {
+	for i := range res.Schedule.Stages {
+		Stage(w, cfg, res, i)
+	}
+}
+
+// Summary prints a one-screen digest: placement plus per-stage parallelism
+// histogram.
+func Summary(w io.Writer, cfg hardware.Config, res *core.Result) {
+	Placement(w, cfg, res)
+	fmt.Fprintf(w, "\nstages: %d   2Q gates: %d   max parallel: %d\n",
+		len(res.Schedule.Stages), res.Schedule.NumGates(), res.Schedule.MaxParallelism())
+	hist := map[int]int{}
+	for _, st := range res.Schedule.Stages {
+		hist[len(st.Gates)]++
+	}
+	for k := 0; k <= res.Schedule.MaxParallelism(); k++ {
+		if hist[k] == 0 {
+			continue
+		}
+		bar := strings.Repeat("#", min(hist[k], 60))
+		fmt.Fprintf(w, "  %2d gates/stage: %4d %s\n", k, hist[k], bar)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

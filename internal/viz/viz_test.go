@@ -1,0 +1,75 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"atomique/internal/bench"
+	"atomique/internal/core"
+	"atomique/internal/hardware"
+)
+
+func compileSmall(t *testing.T) (hardware.Config, *core.Result) {
+	t.Helper()
+	cfg := hardware.SquareConfig(4, 2)
+	res, err := core.Compile(cfg, bench.QAOARegular(10, 3, 1), core.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg, res
+}
+
+func TestPlacementShowsAllArrays(t *testing.T) {
+	cfg, res := compileSmall(t)
+	var b strings.Builder
+	Placement(&b, cfg, res)
+	out := b.String()
+	for _, want := range []string{"SLM (4x4):", "AOD0 (4x4):", "AOD1 (4x4):", ".."} {
+		if !strings.Contains(out, want) {
+			t.Errorf("placement missing %q:\n%s", want, out)
+		}
+	}
+	// Every occupied slot appears exactly as many times as atoms (10 total).
+	occupied := strings.Count(out, "\n") // rough sanity only
+	if occupied < 12 {
+		t.Errorf("placement suspiciously short:\n%s", out)
+	}
+}
+
+func TestStageRendering(t *testing.T) {
+	cfg, res := compileSmall(t)
+	var b strings.Builder
+	Stage(&b, cfg, res, 0)
+	out := b.String()
+	if !strings.Contains(out, "stage 0:") {
+		t.Errorf("stage header missing:\n%s", out)
+	}
+	// A compiled QAOA stage must fire at least one Rydberg pulse somewhere.
+	var all strings.Builder
+	Schedule(&all, cfg, res)
+	if !strings.Contains(all.String(), "rydberg:") {
+		t.Errorf("no rydberg lines in schedule render")
+	}
+	if !strings.Contains(all.String(), "move AOD") {
+		t.Errorf("no movement lines in schedule render")
+	}
+	// Out-of-range stage reports gracefully.
+	var oob strings.Builder
+	Stage(&oob, cfg, res, 9999)
+	if !strings.Contains(oob.String(), "out of range") {
+		t.Errorf("out-of-range stage not reported")
+	}
+}
+
+func TestSummaryHistogram(t *testing.T) {
+	cfg, res := compileSmall(t)
+	var b strings.Builder
+	Summary(&b, cfg, res)
+	out := b.String()
+	if !strings.Contains(out, "gates/stage:") {
+		t.Errorf("summary histogram missing:\n%s", out)
+	}
+	if !strings.Contains(out, "max parallel:") {
+		t.Errorf("summary header missing:\n%s", out)
+	}
+}
