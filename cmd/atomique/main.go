@@ -14,7 +14,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
 	"atomique/internal/bench"
 	"atomique/internal/core"
@@ -67,17 +66,12 @@ func main() {
 		}
 		circ = &bench.Benchmark{Name: *qasmIn, Type: "QASM", Circ: parsed}
 	} else {
-		for _, b := range bench.Table2Suite() {
-			if strings.EqualFold(b.Name, *name) {
-				bb := b
-				circ = &bb
-				break
-			}
-		}
-		if circ == nil {
+		b, ok := bench.ByName(*name)
+		if !ok {
 			fmt.Fprintf(os.Stderr, "atomique: unknown benchmark %q (try -list)\n", *name)
 			os.Exit(1)
 		}
+		circ = &b
 	}
 
 	if *emit != "" {
@@ -98,27 +92,11 @@ func main() {
 		return
 	}
 
-	cfg := hardware.Config{
-		SLM:    hardware.ArraySpec{Rows: *slm, Cols: *slm},
-		Params: hardware.NeutralAtom(),
-	}
-	for i := 0; i < *aods; i++ {
-		cfg.AODs = append(cfg.AODs, hardware.ArraySpec{Rows: *aodSize, Cols: *aodSize})
-	}
+	cfg := hardware.BuildConfig(*slm, *aods, *aodSize, hardware.NeutralAtom())
 	opts := core.Options{Seed: *seed, SerialRouter: *serial, DenseMapper: *dense}
-	for _, r := range strings.Split(*relax, ",") {
-		switch strings.TrimSpace(r) {
-		case "1":
-			opts.RelaxAddressing = true
-		case "2":
-			opts.RelaxOrder = true
-		case "3":
-			opts.RelaxOverlap = true
-		case "":
-		default:
-			fmt.Fprintf(os.Stderr, "atomique: bad -relax entry %q\n", r)
-			os.Exit(1)
-		}
+	if err := opts.ApplyRelax(*relax); err != nil {
+		fmt.Fprintf(os.Stderr, "atomique: bad -relax flag: %v\n", err)
+		os.Exit(1)
 	}
 
 	res, err := core.Compile(cfg, circ.Circ, opts)

@@ -1,0 +1,83 @@
+// Command atomiqued serves the Atomique compiler over HTTP/JSON: a bounded
+// job queue drained by a worker pool, with a content-addressed result cache
+// so repeated identical requests compile once.
+//
+// Usage:
+//
+//	atomiqued [-addr :8791] [-workers 8] [-queue 64] [-cache 256]
+//	          [-slm 10] [-aods 2] [-aodsize 10]
+//
+// Endpoints: POST /v1/compile, POST /v1/compile/batch, GET /v1/jobs/{id},
+// DELETE /v1/jobs/{id}, GET /v1/benchmarks, GET /v1/healthz, GET /v1/stats.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"atomique/internal/hardware"
+	"atomique/internal/service"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8791", "listen address")
+		workers = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		queue   = flag.Int("queue", 64, "job queue capacity")
+		cache   = flag.Int("cache", 256, "result cache entries")
+		slm     = flag.Int("slm", 10, "default SLM array side length")
+		aods    = flag.Int("aods", 2, "default number of AOD arrays")
+		aodSize = flag.Int("aodsize", 10, "default AOD array side length")
+	)
+	flag.Parse()
+
+	hw := hardware.BuildConfig(*slm, *aods, *aodSize, hardware.NeutralAtom())
+	if err := hw.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "atomiqued: %v\n", err)
+		os.Exit(1)
+	}
+
+	engine := service.New(service.Config{
+		Workers:   *workers,
+		QueueSize: *queue,
+		CacheSize: *cache,
+		Hardware:  hw,
+	})
+	defer engine.Close()
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           engine.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	fmt.Printf("atomiqued: listening on %s (%dx%d SLM + %d x %dx%d AOD, queue %d, cache %d)\n",
+		*addr, *slm, *slm, *aods, *aodSize, *aodSize, *queue, *cache)
+
+	select {
+	case <-ctx.Done():
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutCtx); err != nil {
+			fmt.Fprintf(os.Stderr, "atomiqued: shutdown: %v\n", err)
+		}
+		fmt.Println("atomiqued: shut down")
+	case err := <-errCh:
+		if !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(os.Stderr, "atomiqued: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

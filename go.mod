@@ -1,0 +1,3 @@
+module atomique
+
+go 1.24

@@ -1,6 +1,11 @@
 package bench
 
-import "atomique/internal/circuit"
+import (
+	"strings"
+	"sync"
+
+	"atomique/internal/circuit"
+)
 
 // Benchmark is a named workload with its Table II category.
 type Benchmark struct {
@@ -49,6 +54,35 @@ func Fig14Suite() []Benchmark {
 		{"QAOA-regu3-20", "QAOA", QAOARegular(20, 3, 28)},
 		{"QAOA-regu4-10", "QAOA", QAOARegular(10, 4, 29)},
 	}
+}
+
+// cachedSuite memoises the Table II suite for the registry lookups, which
+// sit on the compile service's per-request path; regenerating all ~27
+// circuits per lookup would dominate small compiles. The returned benchmarks
+// share circuit pointers, which every consumer treats as read-only.
+var cachedSuite = sync.OnceValue(Table2Suite)
+
+// ByName returns the Table II benchmark with the given name
+// (case-insensitive). It is the registry lookup behind the CLI -bench flag
+// and the service's named-benchmark compile requests. The returned circuit
+// is shared; treat it as read-only.
+func ByName(name string) (Benchmark, bool) {
+	for _, b := range cachedSuite() {
+		if strings.EqualFold(b.Name, name) {
+			return b, true
+		}
+	}
+	return Benchmark{}, false
+}
+
+// Names returns every Table II benchmark name in suite order.
+func Names() []string {
+	suite := cachedSuite()
+	names := make([]string, len(suite))
+	for i, b := range suite {
+		names[i] = b.Name
+	}
+	return names
 }
 
 // Table2Suite returns every benchmark of Table II (the union of the Fig 13

@@ -1,0 +1,35 @@
+package bench
+
+import "testing"
+
+func TestByName(t *testing.T) {
+	b, ok := ByName("QAOA-regu5-40")
+	if !ok || b.Name != "QAOA-regu5-40" || b.Circ.N != 40 {
+		t.Fatalf("ByName = %+v, %v", b, ok)
+	}
+	// Case-insensitive, canonical name returned.
+	b, ok = ByName("h2-4")
+	if !ok || b.Name != "H2-4" {
+		t.Fatalf("case-insensitive lookup = %+v, %v", b, ok)
+	}
+	if _, ok := ByName("no-such-benchmark"); ok {
+		t.Error("unknown name reported found")
+	}
+}
+
+func TestNames(t *testing.T) {
+	names := Names()
+	if len(names) != len(Table2Suite()) {
+		t.Fatalf("Names() = %d entries, suite has %d", len(names), len(Table2Suite()))
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		if seen[n] {
+			t.Errorf("duplicate name %q", n)
+		}
+		seen[n] = true
+		if _, ok := ByName(n); !ok {
+			t.Errorf("Names() entry %q not resolvable via ByName", n)
+		}
+	}
+}

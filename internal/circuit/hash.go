@@ -1,0 +1,28 @@
+package circuit
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
+)
+
+// Fingerprint returns a stable content hash of the circuit: the hex SHA-256
+// of a canonical binary serialisation (qubit count, then each gate's op,
+// operands, and parameter bits in program order). Two circuits share a
+// fingerprint iff they are gate-for-gate identical, so the fingerprint is a
+// safe content-addressed cache key for deterministic compilations.
+func (c *Circuit) Fingerprint() string {
+	h := sha256.New()
+	var buf [8 * 4]byte
+	binary.LittleEndian.PutUint64(buf[:8], uint64(c.N))
+	h.Write(buf[:8])
+	for _, g := range c.Gates {
+		binary.LittleEndian.PutUint64(buf[0:], uint64(g.Op))
+		binary.LittleEndian.PutUint64(buf[8:], uint64(int64(g.Q0)))
+		binary.LittleEndian.PutUint64(buf[16:], uint64(int64(g.Q1)))
+		binary.LittleEndian.PutUint64(buf[24:], math.Float64bits(g.Param))
+		h.Write(buf[:])
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -1,0 +1,62 @@
+package circuit
+
+import "testing"
+
+func TestFingerprintStable(t *testing.T) {
+	build := func() *Circuit {
+		c := New(3)
+		c.H(0)
+		c.CX(0, 1)
+		c.ZZ(1, 2, 0.25)
+		return c
+	}
+	a, b := build(), build()
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("identical circuits hash differently")
+	}
+	if got := a.Fingerprint(); len(got) != 64 {
+		t.Errorf("fingerprint %q is not hex SHA-256", got)
+	}
+}
+
+func TestFingerprintDiscriminates(t *testing.T) {
+	base := New(3)
+	base.H(0)
+	base.CX(0, 1)
+
+	seen := map[string]string{base.Fingerprint(): "base"}
+	record := func(name string, c *Circuit) {
+		fp := c.Fingerprint()
+		if prev, dup := seen[fp]; dup {
+			t.Errorf("%s collides with %s", name, prev)
+		}
+		seen[fp] = name
+	}
+
+	wider := New(4) // same gates, more qubits
+	wider.H(0)
+	wider.CX(0, 1)
+	record("wider register", wider)
+
+	reordered := New(3)
+	reordered.CX(0, 1)
+	reordered.H(0)
+	record("reordered gates", reordered)
+
+	otherOperand := New(3)
+	otherOperand.H(0)
+	otherOperand.CX(0, 2)
+	record("different operand", otherOperand)
+
+	otherParam := New(3)
+	otherParam.H(0)
+	otherParam.CX(0, 1)
+	otherParam.ZZ(1, 2, 0.5)
+	withParam := New(3)
+	withParam.H(0)
+	withParam.CX(0, 1)
+	withParam.ZZ(1, 2, 0.25)
+	if otherParam.Fingerprint() == withParam.Fingerprint() {
+		t.Error("different rotation angles hash identically")
+	}
+}

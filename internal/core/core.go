@@ -22,6 +22,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -90,6 +91,14 @@ type Result struct {
 
 // Compile runs the full Atomique pipeline on circ for the machine cfg.
 func Compile(cfg hardware.Config, circ *circuit.Circuit, opts Options) (*Result, error) {
+	return CompileContext(context.Background(), cfg, circ, opts)
+}
+
+// CompileContext is Compile with cancellation: the router loop checks ctx
+// between stages and aborts with ctx.Err() when it is cancelled, so a
+// long-running compilation can be stopped by a service deadline or an
+// explicit job cancellation.
+func CompileContext(ctx context.Context, cfg hardware.Config, circ *circuit.Circuit, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -102,6 +111,9 @@ func Compile(cfg hardware.Config, circ *circuit.Circuit, opts Options) (*Result,
 	rng := rand.New(rand.NewSource(opts.Seed))
 
 	// Stage 1: qubit-array mapping.
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: compilation cancelled: %w", err)
+	}
 	arrayOf := mapQubitsToArrays(cfg, circ, opts)
 
 	// Stage 2: inter-array SWAP insertion on the complete multipartite graph.
@@ -130,10 +142,16 @@ func Compile(cfg hardware.Config, circ *circuit.Circuit, opts Options) (*Result,
 	}
 
 	// Stage 3: qubit-atom mapping (assign every occupied slot a trap site).
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: compilation cancelled: %w", err)
+	}
 	siteOf := mapSlotsToAtoms(cfg, routed, sizes, opts, rng)
 
 	// Stage 4: high-parallelism routing.
-	sched, trace, stats := route(cfg, routed, siteOf, sizes, opts)
+	sched, trace, stats, err := route(ctx, cfg, routed, siteOf, sizes, opts)
+	if err != nil {
+		return nil, err
+	}
 
 	elapsed := time.Since(start)
 	static := fidelity.Static{

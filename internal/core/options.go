@@ -1,0 +1,40 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ApplyRelax parses a comma-separated list of constraint IDs ("1", "2", "3",
+// per Fig 22) and sets the corresponding relaxation switches. Unknown or
+// duplicate IDs are rejected with an error naming the valid set, so a typo in
+// a CLI flag or API request never silently compiles with the wrong
+// constraints. Empty entries (and an empty spec) are allowed.
+func (o *Options) ApplyRelax(spec string) error {
+	seen := [4]bool{}
+	for _, r := range strings.Split(spec, ",") {
+		id := strings.TrimSpace(r)
+		if id == "" {
+			continue
+		}
+		var which int
+		switch id {
+		case "1":
+			o.RelaxAddressing = true
+			which = 1
+		case "2":
+			o.RelaxOrder = true
+			which = 2
+		case "3":
+			o.RelaxOverlap = true
+			which = 3
+		default:
+			return fmt.Errorf("core: unknown relax constraint %q (valid IDs: 1=addressing, 2=order, 3=overlap)", id)
+		}
+		if seen[which] {
+			return fmt.Errorf("core: duplicate relax constraint %q", id)
+		}
+		seen[which] = true
+	}
+	return nil
+}

@@ -1,0 +1,44 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestApplyRelax(t *testing.T) {
+	var o Options
+	if err := o.ApplyRelax("1, 3"); err != nil {
+		t.Fatal(err)
+	}
+	if !o.RelaxAddressing || o.RelaxOrder || !o.RelaxOverlap {
+		t.Errorf("flags = %+v, want 1 and 3 set", o)
+	}
+
+	var empty Options
+	if err := empty.ApplyRelax(""); err != nil {
+		t.Errorf("empty spec: %v", err)
+	}
+	if empty != (Options{}) {
+		t.Errorf("empty spec mutated options: %+v", empty)
+	}
+	if err := empty.ApplyRelax("2,,"); err != nil {
+		t.Errorf("trailing commas: %v", err)
+	}
+	if !empty.RelaxOrder {
+		t.Error("constraint 2 not set")
+	}
+}
+
+func TestApplyRelaxRejectsBadIDs(t *testing.T) {
+	for _, spec := range []string{"4", "0", "x", "1,2,bogus", "1,1"} {
+		var o Options
+		err := o.ApplyRelax(spec)
+		if err == nil {
+			t.Errorf("spec %q: no error", spec)
+			continue
+		}
+		if spec != "1,1" && !strings.Contains(err.Error(), "valid IDs") {
+			t.Errorf("spec %q: error %q does not name the valid set", spec, err)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -26,8 +27,8 @@ import (
 // AOD-AOD gates the lower-indexed array stays pinned at its (interstitial)
 // position and the other array meets it there. Constraint checks operate on
 // actively bound rows/columns, matching the abstraction level of Figs 9-11.
-func route(cfg hardware.Config, routed *circuit.Circuit, siteOf []hardware.Site,
-	sizes []int, opts Options) (*Schedule, fidelity.MovementTrace, routerStats) {
+func route(ctx context.Context, cfg hardware.Config, routed *circuit.Circuit, siteOf []hardware.Site,
+	sizes []int, opts Options) (*Schedule, fidelity.MovementTrace, routerStats, error) {
 
 	st := newRouterState(cfg, siteOf, opts)
 	front := circuit.NewFrontier(circuit.NewDAG(routed))
@@ -36,6 +37,11 @@ func route(cfg hardware.Config, routed *circuit.Circuit, siteOf []hardware.Site,
 	var stats routerStats
 
 	for !front.Done() {
+		// Cancellation hook: one check per stage keeps the overhead
+		// negligible while bounding abort latency to a single stage.
+		if err := ctx.Err(); err != nil {
+			return nil, fidelity.MovementTrace{}, routerStats{}, fmt.Errorf("core: compilation cancelled: %w", err)
+		}
 		stage := Stage{}
 
 		// Phase 1: drain one-qubit gates layer by layer (each pass over the
@@ -146,7 +152,7 @@ func route(cfg hardware.Config, routed *circuit.Circuit, siteOf []hardware.Site,
 			}
 		}
 	}
-	return sched, trace, stats
+	return sched, trace, stats, nil
 }
 
 // routerState holds the mutable execution state: AOD row/column coordinates,

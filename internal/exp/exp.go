@@ -59,14 +59,43 @@ func ByID(id string) (Experiment, bool) {
 	return Experiment{}, false
 }
 
+// CompileFunc is the signature of an Atomique compilation backend: it turns
+// (machine, circuit, options) into a metrics record.
+type CompileFunc func(cfg hardware.Config, c *circuit.Circuit, opts core.Options) (metrics.Compiled, error)
+
+// defaultCompiler compiles directly through core.Compile.
+func defaultCompiler(cfg hardware.Config, c *circuit.Circuit, opts core.Options) (metrics.Compiled, error) {
+	res, err := core.Compile(cfg, c, opts)
+	if err != nil {
+		return metrics.Compiled{}, err
+	}
+	return res.Metrics, nil
+}
+
+// atomiqueCompile is the backend every driver funnels Atomique compilations
+// through. The default compiles directly; SetCompiler swaps it.
+var atomiqueCompile CompileFunc = defaultCompiler
+
+// SetCompiler reroutes every Atomique compilation the drivers perform, e.g.
+// through the compile service's batch path (internal/service), whose
+// content-addressed cache dedupes the identical (circuit, config, options)
+// triples that recur across figure sweeps. Passing nil restores the direct
+// path. Not safe to call while drivers are running.
+func SetCompiler(fn CompileFunc) {
+	if fn == nil {
+		fn = defaultCompiler
+	}
+	atomiqueCompile = fn
+}
+
 // mustAtomique compiles with Atomique on the default machine, panicking on
 // configuration errors (experiment inputs are fixed and known-valid).
 func mustAtomique(cfg hardware.Config, c *circuit.Circuit, opts core.Options) metrics.Compiled {
-	res, err := core.Compile(cfg, c, opts)
+	m, err := atomiqueCompile(cfg, c, opts)
 	if err != nil {
 		panic(fmt.Sprintf("exp: atomique compile failed: %v", err))
 	}
-	return res.Metrics
+	return m
 }
 
 // mustArch compiles on a fixed baseline architecture.

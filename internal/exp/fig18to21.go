@@ -30,10 +30,7 @@ func fig18Row(t *report.Table, label string, mutate func(*hardware.Params)) fide
 	for _, b := range fig18Benchmarks() {
 		cfg := hardware.DefaultConfig()
 		mutate(&cfg.Params)
-		at, err := core.Compile(cfg, b.Circ, coreOptions(1))
-		if err != nil {
-			panic(err)
-		}
+		at := mustAtomique(cfg, b.Circ, coreOptions(1))
 		rectA := arch.FAARectangular(b.Circ.N)
 		mutate(&rectA.Params)
 		triA := arch.FAATriangular(b.Circ.N)
@@ -43,9 +40,9 @@ func fig18Row(t *report.Table, label string, mutate func(*hardware.Params)) fide
 		t.AddRow(label, b.Name,
 			fmt.Sprintf("%.3f", rect.FidelityTotal()),
 			fmt.Sprintf("%.3f", tri.FidelityTotal()),
-			fmt.Sprintf("%.3f", at.Metrics.FidelityTotal()))
+			fmt.Sprintf("%.3f", at.FidelityTotal()))
 		if b.Name == "BV-70" {
-			bv70 = at.Metrics.Fidelity
+			bv70 = at.Fidelity
 		}
 	}
 	return bv70

@@ -18,13 +18,13 @@ import (
 // Breakdown is the multiplicative fidelity decomposition. Every factor is in
 // (0, 1]; Total multiplies them.
 type Breakdown struct {
-	OneQubit    float64 // f1Q^N1Q and 1Q-time decoherence
-	TwoQubit    float64 // f2Q^N2Q and 2Q-time decoherence
-	Transfer    float64 // SLM<->AOD transfer loss + time
-	MoveHeating float64 // heating-degraded 2Q gates
-	MoveCooling float64 // cooling-swap gate overhead
-	MoveLoss    float64 // atom loss from accumulated n_vib
-	MoveDeco    float64 // decoherence during movement stages
+	OneQubit    float64 `json:"oneQubit"`    // f1Q^N1Q and 1Q-time decoherence
+	TwoQubit    float64 `json:"twoQubit"`    // f2Q^N2Q and 2Q-time decoherence
+	Transfer    float64 `json:"transfer"`    // SLM<->AOD transfer loss + time
+	MoveHeating float64 `json:"moveHeating"` // heating-degraded 2Q gates
+	MoveCooling float64 `json:"moveCooling"` // cooling-swap gate overhead
+	MoveLoss    float64 `json:"moveLoss"`    // atom loss from accumulated n_vib
+	MoveDeco    float64 `json:"moveDeco"`    // decoherence during movement stages
 }
 
 // Total returns the product of all factors.

@@ -89,14 +89,21 @@ func DefaultConfig() Config {
 	}
 }
 
-// SquareConfig returns a machine with one SLM and numAODs AOD arrays, all
-// size x size.
-func SquareConfig(size, numAODs int) Config {
-	cfg := Config{SLM: ArraySpec{size, size}, Params: NeutralAtom()}
-	for i := 0; i < numAODs; i++ {
-		cfg.AODs = append(cfg.AODs, ArraySpec{size, size})
+// BuildConfig returns a machine with an slm x slm SLM and aods AOD arrays of
+// aodSize x aodSize, using parameters p. It is the shared constructor behind
+// the CLI/daemon machine flags and the service's per-request overrides.
+func BuildConfig(slm, aods, aodSize int, p Params) Config {
+	cfg := Config{SLM: ArraySpec{Rows: slm, Cols: slm}, Params: p}
+	for i := 0; i < aods; i++ {
+		cfg.AODs = append(cfg.AODs, ArraySpec{Rows: aodSize, Cols: aodSize})
 	}
 	return cfg
+}
+
+// SquareConfig returns a machine with one SLM and numAODs AOD arrays, all
+// size x size, with Table I parameters.
+func SquareConfig(size, numAODs int) Config {
+	return BuildConfig(size, numAODs, size, NeutralAtom())
 }
 
 // NumArrays returns the total array count (SLM + AODs).

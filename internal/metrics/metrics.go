@@ -12,29 +12,31 @@ import (
 	"atomique/internal/fidelity"
 )
 
-// Compiled summarises one compilation outcome.
+// Compiled summarises one compilation outcome. The JSON field names are the
+// stable wire format of the compile service's result envelope
+// (internal/report.Envelope); CompileTime serialises as integer nanoseconds.
 type Compiled struct {
-	Name string // benchmark name
-	Arch string // architecture/compiler label
+	Name string `json:"name,omitempty"` // benchmark name
+	Arch string `json:"arch"`           // architecture/compiler label
 
-	NQubits   int
-	N2Q       int // two-qubit interactions executed (incl. SWAP decomposition)
-	N1Q       int // one-qubit gates executed
-	Depth2Q   int // parallel two-qubit layers (router stages on RAA)
-	N1QLayers int // parallel one-qubit layers
+	NQubits   int `json:"nQubits"`
+	N2Q       int `json:"n2Q"`       // two-qubit interactions executed (incl. SWAP decomposition)
+	N1Q       int `json:"n1Q"`       // one-qubit gates executed
+	Depth2Q   int `json:"depth2Q"`   // parallel two-qubit layers (router stages on RAA)
+	N1QLayers int `json:"n1QLayers"` // parallel one-qubit layers
 
-	SwapCount  int // SWAPs inserted during routing
-	AddedCNOTs int // CNOT overhead of SWAP insertion (3 per SWAP)
+	SwapCount  int `json:"swapCount"`  // SWAPs inserted during routing
+	AddedCNOTs int `json:"addedCNOTs"` // CNOT overhead of SWAP insertion (3 per SWAP)
 
-	ExecutionTime float64 // wall-clock schedule length in seconds
-	MoveStages    int     // movement stages (RAA only)
-	TotalMoveDist float64 // total atom movement in meters (RAA only)
-	AvgMoveDist   float64 // average movement distance per stage in meters
-	CoolingEvents int     // AOD cooling swaps performed
-	Overlaps      int     // gates rejected from a stage by the overlap rule
+	ExecutionTime float64 `json:"executionTime"` // wall-clock schedule length in seconds
+	MoveStages    int     `json:"moveStages"`    // movement stages (RAA only)
+	TotalMoveDist float64 `json:"totalMoveDist"` // total atom movement in meters (RAA only)
+	AvgMoveDist   float64 `json:"avgMoveDist"`   // average movement distance per stage in meters
+	CoolingEvents int     `json:"coolingEvents"` // AOD cooling swaps performed
+	Overlaps      int     `json:"overlaps"`      // gates rejected from a stage by the overlap rule
 
-	CompileTime time.Duration
-	Fidelity    fidelity.Breakdown
+	CompileTime time.Duration      `json:"compileTimeNs"`
+	Fidelity    fidelity.Breakdown `json:"fidelity"`
 }
 
 // FidelityTotal is shorthand for the total fidelity product.

@@ -1,0 +1,29 @@
+package qasm
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestParseErrorStructure(t *testing.T) {
+	_, err := ParseString("OPENQASM 2.0;\nqreg q[2];\ncx q[0];\n")
+	var pe *ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %T %v, want *ParseError", err, err)
+	}
+	if pe.Line != 3 {
+		t.Errorf("line = %d, want 3", pe.Line)
+	}
+	if !strings.Contains(err.Error(), "line 3") {
+		t.Errorf("message %q does not mention the line", err)
+	}
+
+	_, err = ParseString("// just a comment\n")
+	if !errors.As(err, &pe) {
+		t.Fatalf("missing qreg: err = %T, want *ParseError", err)
+	}
+	if pe.Line != 0 {
+		t.Errorf("program-level error line = %d, want 0", pe.Line)
+	}
+}

@@ -7,6 +7,7 @@ package qasm
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -15,6 +16,22 @@ import (
 
 	"atomique/internal/circuit"
 )
+
+// ParseError is a structured syntax error: the 1-based source line (0 when
+// the error concerns the whole program, e.g. a missing qreg declaration) and
+// a human-readable message. Services surface it as a 4xx client error,
+// distinct from internal failures.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+func (e *ParseError) Error() string {
+	if e.Line == 0 {
+		return "qasm: " + e.Msg
+	}
+	return fmt.Sprintf("qasm: line %d: %s", e.Line, e.Msg)
+}
 
 // Write serialises c as OpenQASM 2.0.
 func Write(w io.Writer, c *circuit.Circuit) error {
@@ -78,15 +95,21 @@ func Parse(r io.Reader) (*circuit.Circuit, error) {
 				continue
 			}
 			if err := parseStatement(&c, stmt); err != nil {
-				return nil, fmt.Errorf("qasm: line %d: %w", line, err)
+				return nil, &ParseError{Line: line, Msg: err.Error()}
 			}
 		}
 	}
 	if err := sc.Err(); err != nil {
+		// A line beyond the buffer cap is malformed input, so it surfaces as
+		// a client error like syntax problems; genuine reader I/O failures
+		// stay plain errors (a service maps only ParseError to 4xx).
+		if errors.Is(err, bufio.ErrTooLong) {
+			return nil, &ParseError{Line: line + 1, Msg: err.Error()}
+		}
 		return nil, fmt.Errorf("qasm: %w", err)
 	}
 	if c == nil {
-		return nil, fmt.Errorf("qasm: no qreg declaration found")
+		return nil, &ParseError{Msg: "no qreg declaration found"}
 	}
 	return c, nil
 }

@@ -1,0 +1,13 @@
+// One QAOA layer on the triangle graph (3 vertices, 3 edges).
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+h q[0];
+h q[1];
+h q[2];
+rzz(pi/4) q[0],q[1];
+rzz(pi/4) q[1],q[2];
+rzz(pi/4) q[0],q[2];
+rx(pi/2) q[0];
+rx(pi/2) q[1];
+rx(pi/2) q[2];

@@ -1,0 +1,13 @@
+// Quantum teleportation of q[0] to q[2] (unitary form: corrections applied
+// as controlled gates instead of classically conditioned ones).
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+creg c[2];
+x q[0];            // state to teleport
+h q[1];
+cx q[1],q[2];      // Bell pair on q[1],q[2]
+cx q[0],q[1];
+h q[0];
+cx q[1],q[2];      // X correction
+cz q[0],q[2];      // Z correction

@@ -1,0 +1,71 @@
+package report
+
+import (
+	"encoding/json"
+	"math"
+
+	"atomique/internal/metrics"
+)
+
+// Envelope is the JSON-serialisable compilation-result record the compile
+// service returns and caches. It is deliberately request-independent: it
+// carries the circuit's content hash rather than a benchmark name, so two
+// requests that resolve to the same circuit share one envelope byte-for-byte.
+type Envelope struct {
+	// CircuitHash is the compiled circuit's content fingerprint
+	// (circuit.Fingerprint); clients can use it to correlate results.
+	CircuitHash string           `json:"circuitHash"`
+	Metrics     metrics.Compiled `json:"metrics"`
+	// FidelityTotal is the product of all fidelity factors.
+	FidelityTotal float64 `json:"fidelityTotal"`
+	// ErrorBreakdown maps every fidelity factor (including Transfer, which
+	// the Fig-18 plotting subset omits) to -log10(F), so the entries sum to
+	// -log10(fidelityTotal). Factors that underflowed to zero are omitted
+	// (their -log10 is +Inf, which JSON cannot carry).
+	ErrorBreakdown map[string]float64 `json:"errorBreakdown,omitempty"`
+	// CompileSeconds is the compile wall time in seconds.
+	CompileSeconds float64 `json:"compileSeconds"`
+}
+
+// NewEnvelope builds the envelope for a compilation outcome.
+func NewEnvelope(circuitHash string, m metrics.Compiled) Envelope {
+	env := Envelope{
+		CircuitHash:    circuitHash,
+		Metrics:        m,
+		FidelityTotal:  m.FidelityTotal(),
+		CompileSeconds: m.CompileTime.Seconds(),
+	}
+	factors := []struct {
+		label string
+		f     float64
+	}{
+		{"1Q Gate", m.Fidelity.OneQubit},
+		{"2Q Gate", m.Fidelity.TwoQubit},
+		{"Transfer", m.Fidelity.Transfer},
+		{"Move Heating", m.Fidelity.MoveHeating},
+		{"Move Cooling", m.Fidelity.MoveCooling},
+		{"Move Atom Loss", m.Fidelity.MoveLoss},
+		{"Move Decoherence", m.Fidelity.MoveDeco},
+	}
+	for _, fc := range factors {
+		if fc.f <= 0 {
+			continue
+		}
+		v := -math.Log10(fc.f)
+		if v == 0 {
+			v = 0 // normalise the -0 that -log10 yields for factor 1.0
+		}
+		if env.ErrorBreakdown == nil {
+			env.ErrorBreakdown = make(map[string]float64, len(factors))
+		}
+		env.ErrorBreakdown[fc.label] = v
+	}
+	return env
+}
+
+// EncodeJSON marshals the envelope deterministically (struct fields in
+// declaration order, map keys sorted), so identical outcomes yield identical
+// bytes — the property the service's content-addressed cache relies on.
+func (e Envelope) EncodeJSON() ([]byte, error) {
+	return json.Marshal(e)
+}

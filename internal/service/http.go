@@ -1,0 +1,243 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"atomique/internal/bench"
+)
+
+// maxBodyBytes bounds request bodies (inline QASM included).
+const maxBodyBytes = 8 << 20
+
+// errorBody is the JSON error payload of every non-2xx response.
+type errorBody struct {
+	Error string `json:"error"`
+	// Line is the QASM source line for parse errors, omitted otherwise.
+	Line int `json:"line,omitempty"`
+}
+
+// batchRequest is the POST /v1/compile/batch body.
+type batchRequest struct {
+	Requests []Request `json:"requests"`
+}
+
+// batchResponse pairs each batch item with its job outcome.
+type batchResponse struct {
+	Jobs []*Job `json:"jobs"`
+}
+
+// benchmarkInfo is one GET /v1/benchmarks entry.
+type benchmarkInfo struct {
+	Name    string `json:"name"`
+	Type    string `json:"type"`
+	NQubits int    `json:"nQubits"`
+	N2Q     int    `json:"n2Q"`
+	N1Q     int    `json:"n1Q"`
+}
+
+// Handler returns the service's HTTP API:
+//
+//	POST   /v1/compile           compile one request (?async=1 to enqueue only)
+//	POST   /v1/compile/batch     compile many requests concurrently
+//	GET    /v1/jobs/{id}         job status and result
+//	DELETE /v1/jobs/{id}         cancel a queued/running job
+//	POST   /v1/jobs/{id}/cancel  same, for clients without DELETE
+//	GET    /v1/benchmarks        named benchmark registry
+//	GET    /v1/healthz           liveness probe
+//	GET    /v1/stats             queue/worker/cache counters
+func (e *Engine) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/compile", e.handleCompile)
+	mux.HandleFunc("POST /v1/compile/batch", e.handleBatch)
+	mux.HandleFunc("GET /v1/jobs/{id}", e.handleJobGet)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", e.handleJobCancel)
+	mux.HandleFunc("POST /v1/jobs/{id}/cancel", e.handleJobCancel)
+	mux.HandleFunc("GET /v1/benchmarks", e.handleBenchmarks)
+	mux.HandleFunc("GET /v1/healthz", e.handleHealthz)
+	mux.HandleFunc("GET /v1/stats", e.handleStats)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client gone; nothing to do
+}
+
+// writeError maps service errors to HTTP statuses: RequestError -> 400,
+// ErrQueueFull -> 429, everything else -> 500.
+func writeError(w http.ResponseWriter, err error) {
+	var re *RequestError
+	switch {
+	case errors.As(err, &re):
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: re.Msg, Line: re.Line})
+	case errors.Is(err, ErrQueueFull):
+		writeJSON(w, http.StatusTooManyRequests, errorBody{Error: err.Error()})
+	default:
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+	}
+}
+
+// jobStatus picks the response code for a finished job: failed compilations
+// are 422 (the request was well-formed but uncompilable), cancellations 200
+// with state "cancelled", successes 200.
+func jobStatus(j *Job) int {
+	if j.State == StateFailed {
+		return http.StatusUnprocessableEntity
+	}
+	return http.StatusOK
+}
+
+func decodeRequest(w http.ResponseWriter, r *http.Request, v interface{}) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("invalid request body: %v", err)})
+		return false
+	}
+	return true
+}
+
+func (e *Engine) handleCompile(w http.ResponseWriter, r *http.Request) {
+	var req Request
+	if !decodeRequest(w, r, &req) {
+		return
+	}
+	if v := r.URL.Query().Get("async"); v != "" {
+		async, err := strconv.ParseBool(v)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("bad async value %q", v)})
+			return
+		}
+		if async {
+			jv, err := e.Submit(req)
+			if err != nil {
+				writeError(w, err)
+				return
+			}
+			writeJSON(w, http.StatusAccepted, jv)
+			return
+		}
+	}
+	jv, err := e.Compile(r.Context(), req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, jobStatus(jv), jv)
+}
+
+// handleBatch compiles every request concurrently through the worker pool.
+// Enqueueing is flow-controlled (it waits for queue space rather than
+// rejecting), so one batch may be larger than the queue; items share the
+// cache, so duplicates inside a batch compile once.
+func (e *Engine) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var breq batchRequest
+	if !decodeRequest(w, r, &breq) {
+		return
+	}
+	if len(breq.Requests) == 0 {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "batch needs at least one request"})
+		return
+	}
+	// Resolve everything first so a malformed item fails the batch before
+	// any work is enqueued.
+	tasks := make([]task, len(breq.Requests))
+	for i, req := range breq.Requests {
+		t, err := e.resolve(req)
+		if err != nil {
+			var re *RequestError
+			if errors.As(err, &re) {
+				re.Msg = fmt.Sprintf("request %d: %s", i, re.Msg)
+			}
+			writeError(w, err)
+			return
+		}
+		tasks[i] = t
+	}
+	jobs := make([]*job, 0, len(tasks))
+	// If the client disconnects (or a submit fails) mid-batch, cancel every
+	// job already admitted — nobody will read the results.
+	abandon := func() {
+		for _, j := range jobs {
+			j.cancel()
+		}
+	}
+	for _, t := range tasks {
+		j, err := e.submitBlocking(r.Context(), t)
+		if err != nil {
+			abandon()
+			writeError(w, err)
+			return
+		}
+		jobs = append(jobs, j)
+	}
+	resp := batchResponse{Jobs: make([]*Job, len(jobs))}
+	for i, j := range jobs {
+		select {
+		case <-j.done:
+		case <-r.Context().Done():
+			abandon()
+			writeError(w, r.Context().Err())
+			return
+		}
+		resp.Jobs[i] = e.snapshot(j)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (e *Engine) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	jv, ok := e.JobByID(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown job"})
+		return
+	}
+	writeJSON(w, http.StatusOK, jv)
+}
+
+func (e *Engine) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	ok, err := e.Cancel(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown job"})
+		return
+	}
+	if err != nil {
+		writeJSON(w, http.StatusConflict, errorBody{Error: err.Error()})
+		return
+	}
+	jv, _ := e.JobByID(id)
+	writeJSON(w, http.StatusOK, jv)
+}
+
+// benchmarkInfos memoises the /v1/benchmarks payload: the registry is fixed
+// and ComputeStats over the full suite is too costly per request.
+var benchmarkInfos = sync.OnceValue(func() []benchmarkInfo {
+	suite := bench.Table2Suite()
+	infos := make([]benchmarkInfo, len(suite))
+	for i, b := range suite {
+		s := b.Circ.ComputeStats()
+		infos[i] = benchmarkInfo{Name: b.Name, Type: b.Type, NQubits: s.Qubits, N2Q: s.Num2Q, N1Q: s.Num1Q}
+	}
+	return infos
+})
+
+func (e *Engine) handleBenchmarks(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, benchmarkInfos())
+}
+
+func (e *Engine) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (e *Engine) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, e.Stats())
+}

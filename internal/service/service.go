@@ -1,0 +1,717 @@
+// Package service turns the one-shot Atomique compiler into a long-running
+// compile service: a bounded job queue drained by a worker pool that runs
+// core.Compile concurrently (compilation is deterministic per seed, so
+// results are safely parallelizable and cacheable), fronted by a
+// content-addressed LRU result cache keyed on (circuit fingerprint, hardware
+// config, compile options). The HTTP/JSON API lives in http.go; the engine
+// here is equally usable in-process (cmd/experiments routes the figure
+// drivers' compilations through it to dedupe repeated sweeps).
+package service
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"atomique/internal/bench"
+	"atomique/internal/circuit"
+	"atomique/internal/core"
+	"atomique/internal/hardware"
+	"atomique/internal/metrics"
+	"atomique/internal/qasm"
+	"atomique/internal/report"
+)
+
+// ErrQueueFull is returned by fail-fast submission when the bounded job
+// queue has no free slot; the HTTP layer maps it to 429 Too Many Requests.
+var ErrQueueFull = errors.New("service: job queue full")
+
+// ErrClosed is returned for submissions after Close.
+var ErrClosed = errors.New("service: engine closed")
+
+// RequestError marks a client-side request problem (unknown benchmark,
+// malformed QASM, bad options); the HTTP layer maps it to 400 Bad Request.
+type RequestError struct {
+	Msg string
+	// Line is the 1-based QASM source line for parse errors, 0 otherwise.
+	Line int
+}
+
+func (e *RequestError) Error() string { return e.Msg }
+
+// Config sizes the engine. The zero value gets sensible defaults.
+type Config struct {
+	// Workers is the worker-pool size (default: GOMAXPROCS).
+	Workers int
+	// QueueSize bounds the job queue (default: 64).
+	QueueSize int
+	// CacheSize bounds the result cache entry count (default: 256).
+	CacheSize int
+	// Hardware is the default machine for requests without an override
+	// (default: hardware.DefaultConfig).
+	Hardware hardware.Config
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueSize <= 0 {
+		c.QueueSize = 64
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = 256
+	}
+	// Only a fully zero Hardware gets the paper default; a non-zero but
+	// invalid machine (e.g. an SLM with no AODs) is kept and rejected loudly
+	// by Validate at resolve time rather than silently replaced.
+	if c.Hardware.NumArrays() <= 1 && c.Hardware.SLM.Capacity() == 0 {
+		c.Hardware = hardware.DefaultConfig()
+	}
+	return c
+}
+
+// Request is one compile order: either a named Table II benchmark or inline
+// OpenQASM 2.0 source, plus compile options and an optional machine override
+// (any of SLM/AODs/AODSize set builds a custom machine; unset fields keep
+// the paper's defaults).
+type Request struct {
+	Benchmark string `json:"benchmark,omitempty"`
+	QASM      string `json:"qasm,omitempty"`
+
+	Seed   int64  `json:"seed,omitempty"`
+	Serial bool   `json:"serial,omitempty"` // ablation: serial router
+	Dense  bool   `json:"dense,omitempty"`  // ablation: round-robin mapper
+	Relax  string `json:"relax,omitempty"`  // comma-separated constraint IDs (1,2,3)
+
+	SLM     int `json:"slm,omitempty"`     // SLM side length
+	AODs    int `json:"aods,omitempty"`    // number of AOD arrays
+	AODSize int `json:"aodSize,omitempty"` // AOD side length
+}
+
+// State is a job's lifecycle phase.
+type State string
+
+// Job lifecycle states.
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Job is the externally visible snapshot of a compile job.
+type Job struct {
+	ID          string          `json:"id"`
+	State       State           `json:"state"`
+	Benchmark   string          `json:"benchmark,omitempty"`
+	CircuitHash string          `json:"circuitHash"`
+	Cached      bool            `json:"cached"`
+	Error       string          `json:"error,omitempty"`
+	Result      json.RawMessage `json:"result,omitempty"`
+	SubmittedAt time.Time       `json:"submittedAt"`
+	FinishedAt  *time.Time      `json:"finishedAt,omitempty"`
+}
+
+// task is a fully resolved compilation: inputs plus the content-addressed
+// cache key.
+type task struct {
+	label string // benchmark name or request label, informational only
+	hash  string // circuit fingerprint
+	key   string // cache key
+	cfg   hardware.Config
+	circ  *circuit.Circuit
+	opts  core.Options
+}
+
+// job is the internal record behind a Job snapshot.
+type job struct {
+	id     string
+	task   task
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{} // closed exactly once, by finish
+
+	mu         sync.Mutex
+	state      State
+	finalized  bool // finish already ran; later finish/run calls are no-ops
+	out        *outcome
+	cached     bool
+	submitted  time.Time
+	finishedAt time.Time
+}
+
+// Stats is the /v1/stats payload: queue, worker, and cache counters.
+type Stats struct {
+	Workers       int     `json:"workers"`
+	QueueCapacity int     `json:"queueCapacity"`
+	QueueDepth    int     `json:"queueDepth"`
+	Submitted     uint64  `json:"submitted"`
+	Completed     uint64  `json:"completed"`
+	Failed        uint64  `json:"failed"`
+	Cancelled     uint64  `json:"cancelled"`
+	Rejected      uint64  `json:"rejected"`
+	CacheHits     uint64  `json:"cacheHits"`
+	CacheMisses   uint64  `json:"cacheMisses"`
+	CacheEntries  int     `json:"cacheEntries"`
+	UptimeSeconds float64 `json:"uptimeSeconds"`
+}
+
+// compileFunc is the engine's compilation backend; tests substitute it to
+// exercise queueing and cancellation without real compilations.
+type compileFunc func(ctx context.Context, cfg hardware.Config, circ *circuit.Circuit, opts core.Options) (metrics.Compiled, error)
+
+func defaultCompile(ctx context.Context, cfg hardware.Config, circ *circuit.Circuit, opts core.Options) (metrics.Compiled, error) {
+	res, err := core.CompileContext(ctx, cfg, circ, opts)
+	if err != nil {
+		return metrics.Compiled{}, err
+	}
+	return res.Metrics, nil
+}
+
+// maxTrackedJobs bounds the finished-job history kept for GET /v1/jobs/{id}.
+const maxTrackedJobs = 4096
+
+// Engine is the compile service: queue, workers, cache, and job registry.
+type Engine struct {
+	cfg     Config
+	queue   chan *job
+	cache   *lruCache
+	compile compileFunc
+
+	ctx    context.Context
+	stop   context.CancelFunc
+	wg     sync.WaitGroup
+	start  time.Time
+	seq    atomic.Uint64
+	closed atomic.Bool
+	// closeMu orders submissions against Close: a submitter registers in
+	// inFlight under the read lock while the engine is open; Close flips
+	// closed under the write lock and then waits for inFlight, so every
+	// admitted job is either run by a worker or caught by Close's drain.
+	closeMu  sync.RWMutex
+	inFlight sync.WaitGroup
+
+	submitted, completed, failed, cancelled, rejected atomic.Uint64
+	hits, misses                                      atomic.Uint64
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	finished []string // FIFO of finished job IDs, for pruning
+
+	// fpMemo caches circuit fingerprints for CompileMetrics, keyed by
+	// circuit pointer: in-process callers (the experiments batch path)
+	// resubmit the same few circuit objects thousands of times, and those
+	// circuits must be treated as immutable once submitted.
+	fpMemo sync.Map
+}
+
+// New starts an engine with cfg's worker pool running.
+func New(cfg Config) *Engine { return newEngine(cfg, defaultCompile) }
+
+// newEngine starts an engine with an explicit compilation backend (the
+// backend must be fixed before the workers start; tests inject stubs here).
+func newEngine(cfg Config, fn compileFunc) *Engine {
+	cfg = cfg.withDefaults()
+	ctx, stop := context.WithCancel(context.Background())
+	e := &Engine{
+		cfg:     cfg,
+		queue:   make(chan *job, cfg.QueueSize),
+		cache:   newLRUCache(cfg.CacheSize),
+		compile: fn,
+		ctx:     ctx,
+		stop:    stop,
+		start:   time.Now(),
+		jobs:    make(map[string]*job),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		e.wg.Add(1)
+		go e.worker()
+	}
+	return e
+}
+
+// beginSubmit admits a submission while the engine is open. On success the
+// caller must call e.inFlight.Done() once its enqueue attempt is over.
+func (e *Engine) beginSubmit() bool {
+	e.closeMu.RLock()
+	defer e.closeMu.RUnlock()
+	if e.closed.Load() {
+		return false
+	}
+	e.inFlight.Add(1)
+	return true
+}
+
+// Close stops the workers, cancels running jobs, and fails queued ones.
+func (e *Engine) Close() {
+	e.closeMu.Lock()
+	already := e.closed.Swap(true)
+	e.closeMu.Unlock()
+	if already {
+		return
+	}
+	e.stop()
+	e.wg.Wait()
+	e.inFlight.Wait()
+	// Workers are gone and no submitter is mid-enqueue; drain jobs still
+	// sitting in the queue.
+	for {
+		select {
+		case j := <-e.queue:
+			e.finish(j, &outcome{err: fmt.Errorf("service: %w", ErrClosed)}, false)
+		default:
+			return
+		}
+	}
+}
+
+// benchFingerprints memoises circuit fingerprints for the immutable registry
+// benchmarks, keyed by canonical name; hashing tens of thousands of gates per
+// request would weigh on the same hot path the registry cache optimises.
+var benchFingerprints sync.Map
+
+// resolve turns a Request into a runnable task, reporting client errors as
+// *RequestError.
+func (e *Engine) resolve(req Request) (task, error) {
+	var circ *circuit.Circuit
+	var hash string
+	label := req.Benchmark
+	switch {
+	case req.Benchmark != "" && req.QASM != "":
+		return task{}, &RequestError{Msg: "request must set either benchmark or qasm, not both"}
+	case req.Benchmark != "":
+		b, ok := bench.ByName(req.Benchmark)
+		if !ok {
+			return task{}, &RequestError{Msg: fmt.Sprintf("unknown benchmark %q (see GET /v1/benchmarks)", req.Benchmark)}
+		}
+		circ = b.Circ
+		label = b.Name
+		if fp, ok := benchFingerprints.Load(b.Name); ok {
+			hash = fp.(string)
+		} else {
+			hash = circ.Fingerprint()
+			benchFingerprints.Store(b.Name, hash)
+		}
+	case req.QASM != "":
+		parsed, err := qasm.ParseString(req.QASM)
+		if err != nil {
+			re := &RequestError{Msg: err.Error()}
+			var pe *qasm.ParseError
+			if errors.As(err, &pe) {
+				re.Line = pe.Line
+			}
+			return task{}, re
+		}
+		circ = parsed
+		label = "qasm"
+		hash = circ.Fingerprint()
+	default:
+		return task{}, &RequestError{Msg: "request must set benchmark or qasm"}
+	}
+
+	cfg := e.cfg.Hardware
+	if req.SLM < 0 || req.AODs < 0 || req.AODSize < 0 {
+		return task{}, &RequestError{Msg: "machine override values (slm, aods, aodSize) must be positive"}
+	}
+	if req.SLM != 0 || req.AODs != 0 || req.AODSize != 0 {
+		// Partial overrides keep the engine default for unset dimensions
+		// (including a non-square configured SLM); overriding aodSize makes
+		// the AOD arrays homogeneous at that size.
+		slmSpec := cfg.SLM
+		if req.SLM > 0 {
+			slmSpec = hardware.ArraySpec{Rows: req.SLM, Cols: req.SLM}
+		}
+		var aodSpec hardware.ArraySpec
+		if len(cfg.AODs) > 0 {
+			aodSpec = cfg.AODs[0]
+		}
+		if req.AODSize > 0 {
+			aodSpec = hardware.ArraySpec{Rows: req.AODSize, Cols: req.AODSize}
+		}
+		aods := len(cfg.AODs)
+		if req.AODs > 0 {
+			aods = req.AODs
+		}
+		cfg = hardware.Config{SLM: slmSpec, Params: cfg.Params}
+		for i := 0; i < aods; i++ {
+			cfg.AODs = append(cfg.AODs, aodSpec)
+		}
+	}
+	if err := cfg.Validate(); err != nil {
+		return task{}, &RequestError{Msg: err.Error()}
+	}
+	if circ.N > cfg.Capacity() {
+		return task{}, &RequestError{
+			Msg: fmt.Sprintf("circuit needs %d qubits, machine has %d sites", circ.N, cfg.Capacity()),
+		}
+	}
+
+	opts := core.Options{Seed: req.Seed, SerialRouter: req.Serial, DenseMapper: req.Dense}
+	if err := opts.ApplyRelax(req.Relax); err != nil {
+		return task{}, &RequestError{Msg: err.Error()}
+	}
+
+	return task{
+		label: label,
+		hash:  hash,
+		key:   cacheKey(hash, cfg, opts),
+		cfg:   cfg,
+		circ:  circ,
+		opts:  opts,
+	}, nil
+}
+
+// cacheKey derives the content-addressed key: circuit fingerprint plus the
+// canonical JSON of the hardware config and compile options (which include
+// the seed). Deterministic struct-field order makes the key stable.
+func cacheKey(fingerprint string, cfg hardware.Config, opts core.Options) string {
+	h := sha256.New()
+	io.WriteString(h, fingerprint)
+	enc := json.NewEncoder(h)
+	if err := enc.Encode(cfg); err != nil {
+		panic(fmt.Sprintf("service: encode config: %v", err))
+	}
+	if err := enc.Encode(opts); err != nil {
+		panic(fmt.Sprintf("service: encode options: %v", err))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// newJob registers a queued job for a resolved task.
+func (e *Engine) newJob(t task) *job {
+	ctx, cancel := context.WithCancel(e.ctx)
+	j := &job{
+		id:        fmt.Sprintf("job-%06d", e.seq.Add(1)),
+		task:      t,
+		ctx:       ctx,
+		cancel:    cancel,
+		done:      make(chan struct{}),
+		state:     StateQueued,
+		submitted: time.Now(),
+	}
+	e.mu.Lock()
+	e.jobs[j.id] = j
+	e.mu.Unlock()
+	return j
+}
+
+// Submit resolves and enqueues a job without waiting for it, failing fast
+// with ErrQueueFull when the queue is at capacity.
+func (e *Engine) Submit(req Request) (*Job, error) {
+	t, err := e.resolve(req)
+	if err != nil {
+		return nil, err
+	}
+	if !e.beginSubmit() {
+		return nil, ErrClosed
+	}
+	defer e.inFlight.Done()
+	j := e.newJob(t)
+	select {
+	case e.queue <- j:
+		e.submitted.Add(1)
+		return e.snapshot(j), nil
+	default:
+		e.rejected.Add(1)
+		e.dropJob(j)
+		return nil, ErrQueueFull
+	}
+}
+
+// submitBlocking enqueues a job, waiting for queue space until ctx or the
+// engine is done. The batch endpoint and in-process callers use it so a
+// burst larger than the queue is flow-controlled instead of rejected.
+func (e *Engine) submitBlocking(ctx context.Context, t task) (*job, error) {
+	if !e.beginSubmit() {
+		return nil, ErrClosed
+	}
+	defer e.inFlight.Done()
+	j := e.newJob(t)
+	select {
+	case e.queue <- j:
+		e.submitted.Add(1)
+		return j, nil
+	case <-ctx.Done():
+		e.dropJob(j)
+		return nil, ctx.Err()
+	case <-e.ctx.Done():
+		e.dropJob(j)
+		return nil, ErrClosed
+	}
+}
+
+// dropJob unregisters a job that never entered the queue.
+func (e *Engine) dropJob(j *job) {
+	j.cancel()
+	e.mu.Lock()
+	delete(e.jobs, j.id)
+	e.mu.Unlock()
+}
+
+// Wait blocks until the job finishes (or ctx is done) and returns its final
+// snapshot.
+func (e *Engine) Wait(ctx context.Context, id string) (*Job, error) {
+	e.mu.Lock()
+	j, ok := e.jobs[id]
+	e.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("service: unknown job %q", id)
+	}
+	select {
+	case <-j.done:
+		return e.snapshot(j), nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Compile is the synchronous path: resolve, enqueue (fail-fast), wait. If
+// the caller gives up before completion, the job is cancelled.
+func (e *Engine) Compile(ctx context.Context, req Request) (*Job, error) {
+	jv, err := e.Submit(req)
+	if err != nil {
+		return nil, err
+	}
+	j, err := e.Wait(ctx, jv.ID)
+	if err != nil {
+		e.Cancel(jv.ID) //nolint:errcheck // best-effort cleanup
+		return nil, err
+	}
+	return j, nil
+}
+
+// CompileMetrics is the in-process batch path: it runs one compilation
+// through the queue, worker pool, and cache, returning the metrics record.
+// cmd/experiments points the figure drivers here so repeated sweeps over
+// identical (circuit, config, options) triples hit the cache.
+func (e *Engine) CompileMetrics(ctx context.Context, cfg hardware.Config, circ *circuit.Circuit, opts core.Options) (metrics.Compiled, error) {
+	var hash string
+	if v, ok := e.fpMemo.Load(circ); ok {
+		hash = v.(string)
+	} else {
+		hash = circ.Fingerprint()
+		e.fpMemo.Store(circ, hash)
+	}
+	t := task{label: "in-process", hash: hash, key: cacheKey(hash, cfg, opts), cfg: cfg, circ: circ, opts: opts}
+	j, err := e.submitBlocking(ctx, t)
+	if err != nil {
+		return metrics.Compiled{}, err
+	}
+	select {
+	case <-j.done:
+	case <-ctx.Done():
+		j.cancel()
+		return metrics.Compiled{}, ctx.Err()
+	}
+	j.mu.Lock()
+	out := j.out
+	j.mu.Unlock()
+	if out.err != nil {
+		return metrics.Compiled{}, out.err
+	}
+	return out.metrics, nil
+}
+
+// JobByID returns a job snapshot.
+func (e *Engine) JobByID(id string) (*Job, bool) {
+	e.mu.Lock()
+	j, ok := e.jobs[id]
+	e.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	return e.snapshot(j), true
+}
+
+// Cancel requests cancellation of a queued or running job. It reports false
+// when the job is unknown and an error when it already finished.
+func (e *Engine) Cancel(id string) (bool, error) {
+	e.mu.Lock()
+	j, ok := e.jobs[id]
+	e.mu.Unlock()
+	if !ok {
+		return false, nil
+	}
+	j.mu.Lock()
+	terminal := j.finalized
+	state := j.state
+	queued := j.state == StateQueued
+	j.mu.Unlock()
+	if terminal {
+		return true, fmt.Errorf("service: job %s already %s", id, state)
+	}
+	j.cancel()
+	if queued {
+		// Finish immediately so the caller observes "cancelled" rather than
+		// a stale "queued"; the worker that later pops the job finds it
+		// finalized and skips it.
+		e.finish(j, &outcome{err: fmt.Errorf("core: compilation cancelled: %w", context.Canceled)}, false)
+	}
+	return true, nil
+}
+
+// Stats returns a consistent snapshot of the engine counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Workers:       e.cfg.Workers,
+		QueueCapacity: e.cfg.QueueSize,
+		QueueDepth:    len(e.queue),
+		Submitted:     e.submitted.Load(),
+		Completed:     e.completed.Load(),
+		Failed:        e.failed.Load(),
+		Cancelled:     e.cancelled.Load(),
+		Rejected:      e.rejected.Load(),
+		CacheHits:     e.hits.Load(),
+		CacheMisses:   e.misses.Load(),
+		CacheEntries:  e.cache.len(),
+		UptimeSeconds: time.Since(e.start).Seconds(),
+	}
+}
+
+func (e *Engine) worker() {
+	defer e.wg.Done()
+	for {
+		select {
+		case <-e.ctx.Done():
+			return
+		case j := <-e.queue:
+			e.run(j)
+		}
+	}
+}
+
+// run executes one job: skip if already cancelled, then compute through the
+// cache (coalescing with any in-flight identical computation).
+func (e *Engine) run(j *job) {
+	if j.ctx.Err() != nil {
+		e.finish(j, &outcome{err: fmt.Errorf("core: compilation cancelled: %w", j.ctx.Err())}, false)
+		return
+	}
+	j.mu.Lock()
+	if j.finalized {
+		j.mu.Unlock()
+		return
+	}
+	j.state = StateRunning
+	j.mu.Unlock()
+	out, cached := e.compute(j.ctx, j.task)
+	e.finish(j, out, cached)
+}
+
+// compute returns the outcome for a task, via the cache when possible. The
+// first requester of a key owns the compilation; concurrent requesters wait
+// on its entry (counted as cache hits — no duplicate work happens). If an
+// owner is cancelled mid-compile, a live waiter retries and takes ownership.
+func (e *Engine) compute(ctx context.Context, t task) (*outcome, bool) {
+	for {
+		ent, hit := e.cache.getOrReserve(t.key)
+		if !hit {
+			e.misses.Add(1)
+			out := e.execute(ctx, t)
+			e.cache.fulfill(ent, out)
+			if out.err != nil {
+				// Errors are not cached: cancellations are caller-specific
+				// and config errors are caught at resolve time.
+				e.cache.drop(ent)
+			}
+			return out, false
+		}
+		select {
+		case <-ent.done:
+			out := ent.out
+			if out.err != nil && (errors.Is(out.err, context.Canceled) || errors.Is(out.err, context.DeadlineExceeded)) && ctx.Err() == nil {
+				continue // the owner was cancelled, not us: take over
+			}
+			e.hits.Add(1)
+			return out, true
+		case <-ctx.Done():
+			return &outcome{err: fmt.Errorf("core: compilation cancelled: %w", ctx.Err())}, false
+		}
+	}
+}
+
+// execute runs the compilation backend and packages the result envelope.
+func (e *Engine) execute(ctx context.Context, t task) *outcome {
+	m, err := e.compile(ctx, t.cfg, t.circ, t.opts)
+	if err != nil {
+		return &outcome{err: err}
+	}
+	js, err := report.NewEnvelope(t.hash, m).EncodeJSON()
+	if err != nil {
+		return &outcome{err: fmt.Errorf("service: encode result: %w", err)}
+	}
+	return &outcome{metrics: m, json: js}
+}
+
+// finish moves a job to its terminal state and wakes waiters. It is
+// idempotent: a job cancelled while queued may be finished by Cancel and
+// again by the worker that later pops it from the queue.
+func (e *Engine) finish(j *job, out *outcome, cached bool) {
+	j.mu.Lock()
+	if j.finalized {
+		j.mu.Unlock()
+		return
+	}
+	j.finalized = true
+	switch {
+	case out.err == nil:
+		j.state = StateDone
+		e.completed.Add(1)
+	case errors.Is(out.err, context.Canceled) || errors.Is(out.err, context.DeadlineExceeded):
+		j.state = StateCancelled
+		e.cancelled.Add(1)
+	default:
+		j.state = StateFailed
+		e.failed.Add(1)
+	}
+	j.out = out
+	j.cached = cached
+	j.finishedAt = time.Now()
+	j.mu.Unlock()
+	j.cancel() // release the context resources
+	close(j.done)
+
+	e.mu.Lock()
+	e.finished = append(e.finished, j.id)
+	for len(e.finished) > maxTrackedJobs {
+		delete(e.jobs, e.finished[0])
+		e.finished = e.finished[1:]
+	}
+	e.mu.Unlock()
+}
+
+// snapshot renders a job's externally visible state.
+func (e *Engine) snapshot(j *job) *Job {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := &Job{
+		ID:          j.id,
+		State:       j.state,
+		Benchmark:   j.task.label,
+		CircuitHash: j.task.hash,
+		Cached:      j.cached,
+		SubmittedAt: j.submitted,
+	}
+	if !j.finishedAt.IsZero() {
+		t := j.finishedAt
+		v.FinishedAt = &t
+	}
+	if j.out != nil {
+		if j.out.err != nil {
+			v.Error = j.out.err.Error()
+		} else {
+			v.Result = json.RawMessage(j.out.json)
+		}
+	}
+	return v
+}

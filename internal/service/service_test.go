@@ -1,0 +1,274 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"atomique/internal/bench"
+	"atomique/internal/circuit"
+	"atomique/internal/core"
+	"atomique/internal/hardware"
+	"atomique/internal/metrics"
+)
+
+// waitState polls until the job reaches a state in want or the deadline hits.
+func waitState(t *testing.T, e *Engine, id string, want ...State) *Job {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		j, ok := e.JobByID(id)
+		if !ok {
+			t.Fatalf("job %s disappeared", id)
+		}
+		for _, s := range want {
+			if j.State == s {
+				return j
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	j, _ := e.JobByID(id)
+	t.Fatalf("job %s stuck in state %s, want one of %v", id, j.State, want)
+	return nil
+}
+
+func TestCompileNamedBenchmark(t *testing.T) {
+	e := New(Config{Workers: 2})
+	defer e.Close()
+	j, err := e.Compile(context.Background(), Request{Benchmark: "H2-4", Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.State != StateDone {
+		t.Fatalf("state = %s, want done (err %q)", j.State, j.Error)
+	}
+	if len(j.Result) == 0 {
+		t.Fatal("no result envelope")
+	}
+	if j.CircuitHash == "" {
+		t.Fatal("no circuit hash")
+	}
+	if !j.FinishedAt.After(j.SubmittedAt) {
+		t.Fatalf("finishedAt %v not after submittedAt %v", j.FinishedAt, j.SubmittedAt)
+	}
+}
+
+func TestResolveErrors(t *testing.T) {
+	e := New(Config{Workers: 1})
+	defer e.Close()
+	cases := []struct {
+		name string
+		req  Request
+	}{
+		{"empty", Request{}},
+		{"both", Request{Benchmark: "H2-4", QASM: "qreg q[2];"}},
+		{"unknown benchmark", Request{Benchmark: "no-such-bench"}},
+		{"bad relax", Request{Benchmark: "H2-4", Relax: "1,9"}},
+		{"too many qubits", Request{Benchmark: "QAOA-regu6-100", SLM: 4, AODs: 2, AODSize: 4}},
+		{"negative override", Request{Benchmark: "H2-4", AODs: -1}},
+		{"bad qasm", Request{QASM: "OPENQASM 2.0;\nqreg q[2];\nfrobnicate q[0];"}},
+	}
+	for _, tc := range cases {
+		_, err := e.Submit(tc.req)
+		var re *RequestError
+		if !errors.As(err, &re) {
+			t.Errorf("%s: err = %v, want *RequestError", tc.name, err)
+		}
+	}
+	// Parse errors carry the source line.
+	_, err := e.Submit(Request{QASM: "OPENQASM 2.0;\nqreg q[2];\nfrobnicate q[0];"})
+	var re *RequestError
+	if !errors.As(err, &re) || re.Line != 3 {
+		t.Fatalf("qasm error = %#v, want line 3", err)
+	}
+}
+
+// TestConcurrentIdenticalRequests is the cache acceptance check: N identical
+// requests issued concurrently compile exactly once (1 miss, N-1 coalesced
+// hits) and every response carries byte-identical envelope JSON.
+func TestConcurrentIdenticalRequests(t *testing.T) {
+	const n = 8
+	e := New(Config{Workers: 4})
+	defer e.Close()
+	req := Request{Benchmark: "H2-4", Seed: 7}
+
+	var wg sync.WaitGroup
+	results := make([]*Job, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = e.Compile(context.Background(), req)
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("request %d: %v", i, errs[i])
+		}
+		if results[i].State != StateDone {
+			t.Fatalf("request %d: state %s (%s)", i, results[i].State, results[i].Error)
+		}
+		if !bytes.Equal(results[i].Result, results[0].Result) {
+			t.Fatalf("request %d: result bytes differ from request 0", i)
+		}
+	}
+	st := e.Stats()
+	if st.CacheMisses != 1 {
+		t.Errorf("cache misses = %d, want 1", st.CacheMisses)
+	}
+	if st.CacheHits != n-1 {
+		t.Errorf("cache hits = %d, want %d", st.CacheHits, n-1)
+	}
+	if st.CacheEntries != 1 {
+		t.Errorf("cache entries = %d, want 1", st.CacheEntries)
+	}
+
+	// A later identical request is also a pure hit with identical bytes.
+	again, err := e.Compile(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.Cached {
+		t.Error("repeat request not marked cached")
+	}
+	if !bytes.Equal(again.Result, results[0].Result) {
+		t.Error("repeat request result bytes differ")
+	}
+	// A different seed is a different key.
+	other, err := e.Compile(context.Background(), Request{Benchmark: "H2-4", Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other.Cached {
+		t.Error("different-seed request unexpectedly cached")
+	}
+}
+
+// blockingBackend is a compile stub that parks until released (or its
+// context is cancelled), for queue and cancellation tests.
+type blockingBackend struct {
+	started chan string // job labels as they enter the backend
+	release chan struct{}
+}
+
+func newBlockingBackend() *blockingBackend {
+	return &blockingBackend{started: make(chan string, 16), release: make(chan struct{})}
+}
+
+func (b *blockingBackend) compile(ctx context.Context, cfg hardware.Config, circ *circuit.Circuit, opts core.Options) (metrics.Compiled, error) {
+	b.started <- "started"
+	select {
+	case <-b.release:
+		return metrics.Compiled{Arch: "stub", NQubits: circ.N}, nil
+	case <-ctx.Done():
+		return metrics.Compiled{}, ctx.Err()
+	}
+}
+
+func TestQueueBackpressure(t *testing.T) {
+	backend := newBlockingBackend()
+	e := newEngine(Config{Workers: 1, QueueSize: 1}, backend.compile)
+	defer e.Close()
+
+	// First job occupies the single worker.
+	if _, err := e.Submit(Request{Benchmark: "H2-4", Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	<-backend.started
+	// Second job fills the queue.
+	if _, err := e.Submit(Request{Benchmark: "H2-4", Seed: 2}); err != nil {
+		t.Fatal(err)
+	}
+	// Third submission must be rejected.
+	if _, err := e.Submit(Request{Benchmark: "H2-4", Seed: 3}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("err = %v, want ErrQueueFull", err)
+	}
+	if st := e.Stats(); st.Rejected != 1 {
+		t.Errorf("rejected = %d, want 1", st.Rejected)
+	}
+	close(backend.release)
+}
+
+func TestJobCancellation(t *testing.T) {
+	backend := newBlockingBackend()
+	e := newEngine(Config{Workers: 1, QueueSize: 4}, backend.compile)
+	defer e.Close()
+
+	running, err := e.Submit(Request{Benchmark: "H2-4", Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-backend.started
+	queued, err := e.Submit(Request{Benchmark: "H2-4", Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Cancel the queued job first: the worker must skip it.
+	if ok, err := e.Cancel(queued.ID); !ok || err != nil {
+		t.Fatalf("cancel queued: ok=%v err=%v", ok, err)
+	}
+	// Cancel the running job: the backend observes ctx and aborts.
+	if ok, err := e.Cancel(running.ID); !ok || err != nil {
+		t.Fatalf("cancel running: ok=%v err=%v", ok, err)
+	}
+	r := waitState(t, e, running.ID, StateCancelled)
+	if r.Error == "" {
+		t.Error("cancelled job has no error message")
+	}
+	waitState(t, e, queued.ID, StateCancelled)
+
+	if st := e.Stats(); st.Cancelled != 2 {
+		t.Errorf("cancelled = %d, want 2", st.Cancelled)
+	}
+	// Cancelling a finished job is a conflict; unknown jobs are not found.
+	if ok, err := e.Cancel(running.ID); !ok || err == nil {
+		t.Errorf("re-cancel finished: ok=%v err=%v, want conflict", ok, err)
+	}
+	if ok, _ := e.Cancel("job-999999"); ok {
+		t.Error("cancel of unknown job reported found")
+	}
+}
+
+func TestCacheEviction(t *testing.T) {
+	e := New(Config{Workers: 2, CacheSize: 2})
+	defer e.Close()
+	for seed := int64(1); seed <= 3; seed++ {
+		if _, err := e.Compile(context.Background(), Request{Benchmark: "H2-4", Seed: seed}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := e.Stats(); st.CacheEntries != 2 {
+		t.Errorf("cache entries = %d, want 2 after eviction", st.CacheEntries)
+	}
+	// Seed 1 was evicted (LRU), so it recompiles: a miss, not a hit.
+	before := e.Stats().CacheMisses
+	if _, err := e.Compile(context.Background(), Request{Benchmark: "H2-4", Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if after := e.Stats().CacheMisses; after != before+1 {
+		t.Errorf("misses = %d, want %d (evicted key must recompile)", after, before+1)
+	}
+}
+
+// TestCompileContextCancellation checks the router-loop cancellation hook
+// end to end: a cancelled context aborts core.CompileContext.
+func TestCompileContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	b, ok := bench.ByName("QAOA-regu5-40")
+	if !ok {
+		t.Fatal("benchmark missing")
+	}
+	_, err := core.CompileContext(ctx, hardware.DefaultConfig(), b.Circ, core.Options{Seed: 1})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
