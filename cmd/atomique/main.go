@@ -117,6 +117,13 @@ func main() {
 		m.TotalMoveDist*1e3, m.CoolingEvents, m.Overlaps)
 	fmt.Printf("execution time   %.4f s\n", m.ExecutionTime)
 	fmt.Printf("compile time     %v\n", m.CompileTime)
+	if len(m.Passes) > 0 {
+		fmt.Printf("pipeline        ")
+		for _, p := range m.Passes {
+			fmt.Printf(" %s %.3fms", p.Name, p.Seconds*1e3)
+		}
+		fmt.Println()
+	}
 	fmt.Printf("fidelity         %.4f\n", m.FidelityTotal())
 	labels := fidelity.Labels()
 	for i, v := range m.Fidelity.NegLog() {

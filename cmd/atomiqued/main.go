@@ -19,9 +19,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"atomique/internal/core"
 	"atomique/internal/hardware"
 	"atomique/internal/service"
 )
@@ -65,6 +67,8 @@ func main() {
 	go func() { errCh <- srv.ListenAndServe() }()
 	fmt.Printf("atomiqued: listening on %s (%dx%d SLM + %d x %dx%d AOD, queue %d, cache %d)\n",
 		*addr, *slm, *slm, *aods, *aodSize, *aodSize, *queue, *cache)
+	fmt.Printf("atomiqued: compile pipeline: %s (per-pass timings in GET /v1/stats)\n",
+		strings.Join(core.PassNames(), " -> "))
 
 	select {
 	case <-ctx.Done():

@@ -33,7 +33,7 @@ import (
 	"atomique/internal/graphs"
 	"atomique/internal/hardware"
 	"atomique/internal/metrics"
-	"atomique/internal/sabre"
+	"atomique/internal/pipeline"
 )
 
 // Options configures a compilation. The zero value is the paper's default
@@ -94,10 +94,10 @@ func Compile(cfg hardware.Config, circ *circuit.Circuit, opts Options) (*Result,
 	return CompileContext(context.Background(), cfg, circ, opts)
 }
 
-// CompileContext is Compile with cancellation: the router loop checks ctx
-// between stages and aborts with ctx.Err() when it is cancelled, so a
-// long-running compilation can be stopped by a service deadline or an
-// explicit job cancellation.
+// CompileContext is Compile with cancellation: the pipeline checks ctx
+// between passes (and the router loop between stages) and aborts with
+// ctx.Err() when it is cancelled, so a long-running compilation can be
+// stopped by a service deadline or an explicit job cancellation.
 func CompileContext(ctx context.Context, cfg hardware.Config, circ *circuit.Circuit, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
 	if err := cfg.Validate(); err != nil {
@@ -108,87 +108,28 @@ func CompileContext(ctx context.Context, cfg hardware.Config, circ *circuit.Circ
 			circ.N, cfg.Capacity())
 	}
 	start := time.Now()
-	rng := rand.New(rand.NewSource(opts.Seed))
-
-	// Stage 1: qubit-array mapping.
-	if err := ctx.Err(); err != nil {
-		return nil, fmt.Errorf("core: compilation cancelled: %w", err)
+	st := &pipeline.State{
+		Cfg:  cfg,
+		Circ: circ,
+		Seed: opts.Seed,
+		Rng:  rand.New(rand.NewSource(opts.Seed)),
 	}
-	arrayOf := mapQubitsToArrays(cfg, circ, opts)
-
-	// Stage 2: inter-array SWAP insertion on the complete multipartite graph.
-	sizes := make([]int, cfg.NumArrays())
-	for _, a := range arrayOf {
-		sizes[a]++
-	}
-	slotOf := slotAssignment(arrayOf, sizes)
-	mp := graphs.CompleteMultipartite(sizes)
-	var routed *circuit.Circuit
-	var swaps int
-	finalSlotOf := slotOf
-	if allInOneArray(sizes) && circ.Num2Q() > 0 {
-		return nil, fmt.Errorf("core: all qubits mapped to one array; no couplings available")
-	}
-	if circ.Num2Q() == 0 {
-		routed = relabel(circ, slotOf, mp.N)
-	} else {
-		res := sabre.Route(circ, mp, sabre.Options{
-			InitialMapping: slotOf,
-			Seed:           opts.Seed,
-		})
-		routed = res.Routed
-		swaps = res.SwapCount
-		finalSlotOf = res.FinalMapping
-	}
-
-	// Stage 3: qubit-atom mapping (assign every occupied slot a trap site).
-	if err := ctx.Err(); err != nil {
-		return nil, fmt.Errorf("core: compilation cancelled: %w", err)
-	}
-	siteOf := mapSlotsToAtoms(cfg, routed, sizes, opts, rng)
-
-	// Stage 4: high-parallelism routing.
-	sched, trace, stats, err := route(ctx, cfg, routed, siteOf, sizes, opts)
+	timings, err := pipeline.New(Passes(opts)...).Run(ctx, st)
 	if err != nil {
 		return nil, err
 	}
-
-	elapsed := time.Since(start)
-	static := fidelity.Static{
-		NQubits:   circ.N,
-		N1Q:       routed.Num1Q(),
-		N1QLayers: stats.oneQLayers,
-		N2Q:       routed.Num2Q(),
-		Depth2Q:   stats.stages,
-	}
-	bd := fidelity.Evaluate(cfg.Params, static, trace)
-	m := metrics.Compiled{
-		Arch:          "Atomique",
-		NQubits:       circ.N,
-		N2Q:           routed.Num2Q(),
-		N1Q:           routed.Num1Q(),
-		Depth2Q:       stats.stages,
-		N1QLayers:     stats.oneQLayers,
-		SwapCount:     swaps,
-		AddedCNOTs:    3 * swaps,
-		ExecutionTime: stats.execTime,
-		MoveStages:    stats.stages,
-		TotalMoveDist: stats.totalDist,
-		AvgMoveDist:   stats.avgDist(),
-		CoolingEvents: stats.coolings,
-		Overlaps:      stats.overlaps,
-		CompileTime:   elapsed,
-		Fidelity:      bd,
-	}
+	m := st.Metrics
+	m.CompileTime = time.Since(start)
+	m.Passes = timings
 	return &Result{
-		ArrayOf:       arrayOf,
-		SiteOf:        siteOf,
-		InitialSlotOf: slotOf,
-		FinalSlotOf:   finalSlotOf,
-		Schedule:      sched,
+		ArrayOf:       st.ArrayOf,
+		SiteOf:        st.SiteOf,
+		InitialSlotOf: st.SlotOf,
+		FinalSlotOf:   st.FinalSlotOf,
+		Schedule:      st.Schedule,
 		Metrics:       m,
-		Trace:         trace,
-		Static:        static,
+		Trace:         st.Trace,
+		Static:        st.Static,
 	}, nil
 }
 
@@ -274,23 +215,6 @@ func relabel(c *circuit.Circuit, slotOf []int, n int) *circuit.Circuit {
 		out.Add(g)
 	}
 	return out
-}
-
-// routerStats aggregates counters the router produces beyond the schedule.
-type routerStats struct {
-	execTime   float64
-	totalDist  float64
-	coolings   int
-	overlaps   int
-	oneQLayers int
-	stages     int
-}
-
-func (s routerStats) avgDist() float64 {
-	if s.stages == 0 {
-		return 0
-	}
-	return s.totalDist / float64(s.stages)
 }
 
 // sortPairsByWeight returns interaction pairs in descending weight order

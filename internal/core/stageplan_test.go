@@ -1,0 +1,386 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"atomique/internal/hardware"
+)
+
+// The incremental stage-plan (undo journal + neighbour constraint check)
+// must behave exactly like the original full-recompute implementation:
+// a rejected tryAdd leaves the plan indistinguishable from one that never
+// saw the attempt, and the rejection reason — which feeds the overlap
+// counter — matches the full rescan. The reference implementations below
+// reproduce the pre-refactor algorithm (rebuildWithoutLast + full
+// checkOrderAndOverlap) for comparison.
+
+// applyBinding writes one binding into the dense tables, maintaining the
+// bound-index lists (shared by the reference implementations below).
+func (p *stagePlan) applyBinding(isRow bool, array, idx int, target float64) {
+	if isRow {
+		if !bound(p.rowT[array][idx]) {
+			p.rowBound[array] = append(p.rowBound[array], idx)
+		}
+		p.rowT[array][idx] = target
+		return
+	}
+	if !bound(p.colT[array][idx]) {
+		p.colBound[array] = append(p.colBound[array], idx)
+	}
+	p.colT[array][idx] = target
+}
+
+// checkOrderAndOverlap is the pre-refactor full rescan of constraints 2 and
+// 3 on every AOD array: bound rows (columns) must keep strictly increasing
+// targets in index order. The hot path uses checkChangedBindings; this full
+// version is the reference the incremental check is tested against.
+func (p *stagePlan) checkOrderAndOverlap() addReason {
+	st := p.st
+	for a := 1; a < st.cfg.NumArrays(); a++ {
+		if r := checkAxis(p.rowT[a], st.opts); r != addOK {
+			return r
+		}
+		if r := checkAxis(p.colT[a], st.opts); r != addOK {
+			return r
+		}
+	}
+	return addOK
+}
+
+func checkAxis(binds []float64, opts Options) addReason {
+	prev := unbound
+	for _, t := range binds {
+		if !bound(t) {
+			continue
+		}
+		if bound(prev) {
+			if r := checkAdjacent(prev, t, opts); r != addOK {
+				return r
+			}
+		}
+		prev = t
+	}
+	return addOK
+}
+
+// tryAddReference is the pre-refactor tryAdd: apply, full constraint
+// rescan, rebuild-from-scratch on rejection.
+func (p *stagePlan) tryAddReference(a, b int) addReason {
+	st := p.st
+	sa, sb := st.siteOf[a], st.siteOf[b]
+	if sa.Array == 0 && sb.Array == 0 {
+		return addIllegal
+	}
+	e := st.bindsFor(a, b)
+	for _, rb := range e.rows {
+		if t := p.rowT[int(rb[0])][int(rb[1])]; bound(t) && !approxEq(t, rb[2]) {
+			return addRowConflict
+		}
+	}
+	for _, cb := range e.cols {
+		if t := p.colT[int(cb[0])][int(cb[1])]; bound(t) && !approxEq(t, cb[2]) {
+			return addRowConflict
+		}
+	}
+	for _, rb := range e.rows {
+		p.applyBinding(true, int(rb[0]), int(rb[1]), rb[2])
+	}
+	for _, cb := range e.cols {
+		p.applyBinding(false, int(cb[0]), int(cb[1]), cb[2])
+	}
+	key := pairKey(a, b)
+	p.pairs[key] = true
+	p.gates = append(p.gates, key)
+
+	reason := p.checkOrderAndOverlap()
+	if reason == addOK && !st.opts.RelaxAddressing && !p.checkAddressing() {
+		reason = addAddressing
+	}
+	if reason != addOK {
+		p.rebuildWithoutLast()
+	}
+	return reason
+}
+
+// rebuildWithoutLast is the pre-refactor rejection path: drop the last gate
+// and recompute every binding from the surviving gates.
+func (p *stagePlan) rebuildWithoutLast() {
+	gates := append([][2]int(nil), p.gates[:len(p.gates)-1]...)
+	p.reset()
+	for _, g := range gates {
+		e := p.st.bindsFor(g[0], g[1])
+		for _, rb := range e.rows {
+			p.applyBinding(true, int(rb[0]), int(rb[1]), rb[2])
+		}
+		for _, cb := range e.cols {
+			p.applyBinding(false, int(cb[0]), int(cb[1]), cb[2])
+		}
+		p.pairs[g] = true
+		p.gates = append(p.gates, g)
+	}
+}
+
+// planSnapshot is a deep copy of a plan's observable state.
+type planSnapshot struct {
+	rowT, colT []map[int]float64
+	gates      [][2]int
+	pairs      map[[2]int]bool
+}
+
+// axisMaps renders one dense axis table as per-array maps over its bound
+// entries, verifying the bound lists agree with the table on the way.
+func axisMaps(t *testing.T, table [][]float64, boundIdx [][]int) []map[int]float64 {
+	t.Helper()
+	var out []map[int]float64
+	for a := range table {
+		m := make(map[int]float64, len(boundIdx[a]))
+		for _, i := range boundIdx[a] {
+			if !bound(table[a][i]) {
+				t.Fatalf("bound list has unbound index %d in array %d", i, a)
+			}
+			if _, dup := m[i]; dup {
+				t.Fatalf("bound list duplicates index %d in array %d", i, a)
+			}
+			m[i] = table[a][i]
+		}
+		n := 0
+		for _, v := range table[a] {
+			if bound(v) {
+				n++
+			}
+		}
+		if n != len(m) {
+			t.Fatalf("array %d: %d bound entries but %d listed", a, n, len(m))
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+func snapshotPlan(t *testing.T, p *stagePlan) planSnapshot {
+	t.Helper()
+	s := planSnapshot{pairs: make(map[[2]int]bool, len(p.pairs))}
+	s.rowT = axisMaps(t, p.rowT, p.rowBound)
+	s.colT = axisMaps(t, p.colT, p.colBound)
+	s.gates = append([][2]int(nil), p.gates...)
+	for k := range p.pairs {
+		s.pairs[k] = true
+	}
+	return s
+}
+
+// samePlan compares a plan's observable state to a snapshot, bit-for-bit on
+// every binding target.
+func samePlan(t *testing.T, label string, p *stagePlan, s planSnapshot) {
+	t.Helper()
+	got := snapshotPlan(t, p)
+	if len(got.gates) != len(s.gates) {
+		t.Fatalf("%s: gates %v != %v", label, got.gates, s.gates)
+	}
+	for i := range got.gates {
+		if got.gates[i] != s.gates[i] {
+			t.Fatalf("%s: gate %d: %v != %v", label, i, got.gates[i], s.gates[i])
+		}
+	}
+	if len(got.pairs) != len(s.pairs) {
+		t.Fatalf("%s: pairs %v != %v", label, got.pairs, s.pairs)
+	}
+	for k := range s.pairs {
+		if !got.pairs[k] {
+			t.Fatalf("%s: missing pair %v", label, k)
+		}
+	}
+	axes := func(name string, got, want []map[int]float64) {
+		for a := range want {
+			if len(got[a]) != len(want[a]) {
+				t.Fatalf("%s: %s[%d] = %v, want %v", label, name, a, got[a], want[a])
+			}
+			for idx, v := range want[a] {
+				gv, ok := got[a][idx]
+				if !ok || gv != v {
+					t.Fatalf("%s: %s[%d][%d] = %v (present %v), want %v", label, name, a, idx, gv, ok, v)
+				}
+			}
+		}
+	}
+	axes("rowT", got.rowT, s.rowT)
+	axes("colT", got.colT, s.colT)
+}
+
+// testState builds a routerState over a hand-placed site assignment:
+// sites[slot] lists (array, row, col).
+func testState(t *testing.T, cfg hardware.Config, sites [][3]int, opts Options) *routerState {
+	t.Helper()
+	siteOf := make([]hardware.Site, len(sites))
+	for slot, s := range sites {
+		siteOf[slot] = hardware.Site{Array: s[0], Row: s[1], Col: s[2]}
+	}
+	return newRouterState(cfg, siteOf, opts)
+}
+
+// The crafted scenarios drive every rejection reason and assert the plan is
+// identical to never having tried, including the order/overlap and
+// addressing bookkeeping.
+func TestTryAddUndoPerReason(t *testing.T) {
+	cfg := hardware.SquareConfig(4, 2)
+	// Slots: 0-2 SLM at (0,0),(2,0),(2,2); 3-6 AOD1 at (0,0),(0,1),(1,1),(2,1);
+	// 7 AOD2 (0,0); 8 SLM (0,2).
+	sites := [][3]int{
+		{0, 0, 0}, {0, 2, 0}, {0, 2, 2},
+		{1, 0, 0}, {1, 0, 1}, {1, 1, 1}, {1, 2, 1},
+		{2, 0, 0},
+		{0, 0, 2},
+	}
+	cases := []struct {
+		name   string
+		setup  [][2]int // accepted gates
+		a, b   int
+		reason addReason
+	}{
+		{"illegal-intra-slm", nil, 0, 1, addIllegal},
+		// Slot 3 row 0 bound to Y(2) by gate (3,1); slot 4 shares row 0 but
+		// targets Y(0): the row cannot be split.
+		{"row-conflict", [][2]int{{3, 1}}, 4, 0, addRowConflict},
+		// Gate (3,1) binds row 0 to Y(2); adding (5,0) binds row 1 to Y(0),
+		// inverting the row order (constraint 2).
+		{"order", [][2]int{{3, 1}}, 5, 0, addOrder},
+		// Gate (3,1) binds row 0 to Y(2); adding (5,2) binds row 1 to the
+		// same Y(2): rows coincide (constraint 3).
+		{"overlap", [][2]int{{3, 1}}, 5, 2, addOverlap},
+		// Gates (3,0) and (5,2) bind rows {0->Y0, 1->Y2} and cols
+		// {0->X0, 1->X2} of AOD 1 — ordered and distinct — but the cross
+		// product sends the bystander atom 4 at (row 0, col 1) onto the
+		// occupied SLM site (0,2), an unintended interaction (constraint 1).
+		{"addressing", [][2]int{{3, 0}}, 5, 2, addAddressing},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			st := testState(t, cfg, sites, Options{})
+			plan := newStagePlan(st)
+			for _, g := range tc.setup {
+				if r := plan.tryAdd(g[0], g[1]); r != addOK {
+					t.Fatalf("setup gate %v rejected: %d", g, r)
+				}
+			}
+			snap := snapshotPlan(t, plan)
+			if r := plan.tryAdd(tc.a, tc.b); r != tc.reason {
+				t.Fatalf("tryAdd(%d,%d) = %d, want %d", tc.a, tc.b, r, tc.reason)
+			}
+			samePlan(t, tc.name, plan, snap)
+			// The rejected plan must still accept and commit exactly like a
+			// fresh plan with the same accepted gates.
+			fresh := newStagePlan(st)
+			for _, g := range tc.setup {
+				fresh.tryAdd(g[0], g[1])
+			}
+			samePlan(t, tc.name+"-fresh", plan, snapshotPlan(t, fresh))
+		})
+	}
+}
+
+// randomSites places n atoms per array at distinct random cells.
+func randomSites(rng *rand.Rand, cfg hardware.Config, perArray int) [][3]int {
+	var sites [][3]int
+	for a := 0; a < cfg.NumArrays(); a++ {
+		spec := cfg.Array(a)
+		used := map[[2]int]bool{}
+		for len(used) < perArray {
+			cell := [2]int{rng.Intn(spec.Rows), rng.Intn(spec.Cols)}
+			if used[cell] {
+				continue
+			}
+			used[cell] = true
+			sites = append(sites, [3]int{a, cell[0], cell[1]})
+		}
+	}
+	return sites
+}
+
+// The incremental implementation must agree with the reference on every
+// random attempt sequence: same reason, same resulting plan.
+func TestTryAddMatchesReference(t *testing.T) {
+	cfg := hardware.SquareConfig(6, 2)
+	for _, opts := range []Options{
+		{},
+		{RelaxOrder: true},
+		{RelaxOverlap: true},
+		{RelaxAddressing: true},
+		{RelaxOrder: true, RelaxOverlap: true, RelaxAddressing: true},
+	} {
+		for seed := int64(0); seed < 8; seed++ {
+			rng := rand.New(rand.NewSource(seed))
+			sites := randomSites(rng, cfg, 8)
+			st := testState(t, cfg, sites, opts)
+			inc := newStagePlan(st)
+			ref := newStagePlan(st)
+			seen := map[addReason]int{}
+			for attempt := 0; attempt < 300; attempt++ {
+				a := rng.Intn(len(sites))
+				b := rng.Intn(len(sites) - 1)
+				if b >= a {
+					b++
+				}
+				if inc.pairs[pairKey(a, b)] {
+					continue // routed gates are pair-unique within a stage
+				}
+				got := inc.tryAdd(a, b)
+				want := ref.tryAddReference(a, b)
+				if got != want {
+					t.Fatalf("opts %+v seed %d attempt %d (%d,%d): incremental %d, reference %d",
+						opts, seed, attempt, a, b, got, want)
+				}
+				seen[got]++
+				samePlan(t, "after attempt", inc, snapshotPlan(t, ref))
+			}
+			if seen[addOK] == 0 || seen[addOK] == 300 {
+				t.Fatalf("opts %+v seed %d degenerate mix: %v", opts, seed, seen)
+			}
+		}
+	}
+}
+
+// Committing after a run of rejected attempts must produce the same moves
+// as a plan that only ever saw the accepted gates.
+func TestCommitAfterUndoMatchesFreshPlan(t *testing.T) {
+	cfg := hardware.SquareConfig(6, 2)
+	rng := rand.New(rand.NewSource(42))
+	sites := randomSites(rng, cfg, 8)
+
+	var accepted [][2]int
+	st1 := testState(t, cfg, sites, Options{})
+	plan := newStagePlan(st1)
+	for attempt := 0; attempt < 200; attempt++ {
+		a := rng.Intn(len(sites))
+		b := rng.Intn(len(sites) - 1)
+		if b >= a {
+			b++
+		}
+		if plan.pairs[pairKey(a, b)] {
+			continue
+		}
+		if plan.tryAdd(a, b) == addOK {
+			accepted = append(accepted, [2]int{a, b})
+		}
+	}
+	if len(accepted) == 0 {
+		t.Fatal("no gates accepted")
+	}
+	st2 := testState(t, cfg, sites, Options{})
+	fresh := newStagePlan(st2)
+	for _, g := range accepted {
+		if r := fresh.tryAdd(g[0], g[1]); r != addOK {
+			t.Fatalf("fresh plan rejected accepted gate %v: %d", g, r)
+		}
+	}
+	moves1 := plan.commitMoves()
+	moves2 := fresh.commitMoves()
+	if len(moves1) != len(moves2) {
+		t.Fatalf("moves %v != %v", moves1, moves2)
+	}
+	for i := range moves1 {
+		if moves1[i] != moves2[i] {
+			t.Fatalf("move %d: %v != %v", i, moves1[i], moves2[i])
+		}
+	}
+}

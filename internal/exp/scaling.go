@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"atomique/internal/bench"
+	"atomique/internal/core"
 	"atomique/internal/report"
 	"atomique/internal/solverref"
 )
@@ -12,7 +13,8 @@ import (
 // Scaling measures compilation time versus circuit size for Atomique and
 // Tan-IterP — the scalability claim behind Fig 14 and Table II ("the
 // solver-based compiler times out beyond ~20 qubits; Atomique compiles
-// 100-qubit circuits in milliseconds").
+// 100-qubit circuits in milliseconds") — plus the per-pass breakdown of
+// where Atomique's compile time goes as circuits grow.
 func Scaling() []*report.Table {
 	t := &report.Table{
 		Title: "Scaling: compile time vs circuit size (QAOA, 3-regular)",
@@ -20,6 +22,11 @@ func Scaling() []*report.Table {
 			"Atomique depth", "IterP depth"},
 		Notes: []string{"Tan-Solver is omitted beyond toy sizes (exponential); " +
 			"see Table II for its timeout frontier"},
+	}
+	passes := &report.Table{
+		Title:  "Scaling: Atomique per-pass compile time (ms)",
+		Header: append([]string{"Qubits"}, core.PassNames()...),
+		Notes:  []string{"pipeline pass wall times from metrics.Passes; cache hits reuse the owner compilation's measurements"},
 	}
 	for _, n := range []int{10, 20, 40, 60, 80, 100} {
 		c := bench.QAOARegular(n, 3, int64(n))
@@ -37,6 +44,19 @@ func Scaling() []*report.Table {
 			fmt.Sprintf("%.2f", atMS),
 			fmt.Sprintf("%.2f", float64(iterp.Metrics.CompileTime.Microseconds())/1000),
 			at.Depth2Q, iterp.Metrics.Depth2Q)
+
+		row := []interface{}{n}
+		for _, name := range core.PassNames() {
+			cell := "-"
+			for _, p := range at.Passes {
+				if p.Name == name {
+					cell = fmt.Sprintf("%.3f", p.Seconds*1e3)
+					break
+				}
+			}
+			row = append(row, cell)
+		}
+		passes.AddRow(row...)
 	}
-	return []*report.Table{t}
+	return []*report.Table{t, passes}
 }

@@ -37,6 +37,23 @@ type Compiled struct {
 
 	CompileTime time.Duration      `json:"compileTimeNs"`
 	Fidelity    fidelity.Breakdown `json:"fidelity"`
+
+	// Passes is the per-pass instrumentation of the compile pipeline, in
+	// execution order. Empty for compilers that do not run as a pass
+	// pipeline (the fixed-array baselines in internal/arch).
+	Passes []PassTiming `json:"passes,omitempty"`
+}
+
+// PassTiming is one pipeline pass's instrumentation record: wall time plus
+// the gate/move totals materialised once the pass finished. Gates counts the
+// gates of the most concrete circuit representation produced so far (source,
+// routed, or scheduled), so the delta between consecutive entries shows what
+// each pass added.
+type PassTiming struct {
+	Name    string  `json:"name"`
+	Seconds float64 `json:"seconds"`
+	Gates   int     `json:"gates"`
+	Moves   int     `json:"moves"`
 }
 
 // FidelityTotal is shorthand for the total fidelity product.

@@ -1,0 +1,84 @@
+// Package pipeline structures a compilation as an explicit sequence of
+// passes over typed intermediate state, mirroring how hardware compilers in
+// related work (QEC-Lib's HardwareCompiler/CompilationPass, ZAP's separated
+// zoned scheduling) organise the decompose → map → route → schedule →
+// fidelity flow. The runner instruments every pass with wall time and
+// gate/move counts and checks for cancellation between passes, so services
+// can report per-stage cost and abort long compilations promptly.
+//
+// The Atomique pass list lives in internal/core (core.Passes); alternate
+// backends (a SABRE-only fixed-array compiler, a Geyser-style pulse
+// compiler) plug in as alternate pass lists over the same State.
+package pipeline
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"atomique/internal/metrics"
+)
+
+// Pass is one compilation stage. Run mutates the shared State in place; a
+// pass reads the artifacts earlier passes produced and adds its own. Run
+// must be deterministic for a fixed State (any randomness must come from
+// State.Rng, which is seeded by the caller).
+type Pass interface {
+	Name() string
+	Run(ctx context.Context, st *State) error
+}
+
+// PassFunc adapts a function to the Pass interface.
+type PassFunc struct {
+	PassName string
+	Fn       func(ctx context.Context, st *State) error
+}
+
+// Name returns the pass name.
+func (p PassFunc) Name() string { return p.PassName }
+
+// Run invokes the wrapped function.
+func (p PassFunc) Run(ctx context.Context, st *State) error { return p.Fn(ctx, st) }
+
+// Pipeline is an ordered pass list plus the instrumentation the runner
+// collects. The zero value is an empty pipeline; use New.
+type Pipeline struct {
+	passes []Pass
+}
+
+// New builds a pipeline from passes, run in order.
+func New(passes ...Pass) *Pipeline { return &Pipeline{passes: passes} }
+
+// Names returns the pass names in execution order.
+func (p *Pipeline) Names() []string {
+	names := make([]string, len(p.passes))
+	for i, pass := range p.passes {
+		names[i] = pass.Name()
+	}
+	return names
+}
+
+// Run executes every pass in order against st, recording one PassTiming per
+// completed pass. Before each pass it checks ctx — a cancelled context
+// aborts the pipeline between passes (long-running passes additionally
+// check ctx internally, e.g. the router's per-stage checkpoint). On error
+// the timings of the passes that completed are returned alongside it.
+func (p *Pipeline) Run(ctx context.Context, st *State) ([]metrics.PassTiming, error) {
+	timings := make([]metrics.PassTiming, 0, len(p.passes))
+	for _, pass := range p.passes {
+		if err := ctx.Err(); err != nil {
+			return timings, fmt.Errorf("pipeline: cancelled before pass %s: %w", pass.Name(), err)
+		}
+		start := time.Now()
+		if err := pass.Run(ctx, st); err != nil {
+			return timings, fmt.Errorf("pipeline: pass %s: %w", pass.Name(), err)
+		}
+		timings = append(timings, metrics.PassTiming{
+			Name:    pass.Name(),
+			Seconds: time.Since(start).Seconds(),
+			Gates:   st.GateCount(),
+			Moves:   st.MoveCount(),
+		})
+	}
+	return timings, nil
+}

@@ -1,0 +1,74 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"atomique/internal/circuit"
+)
+
+// Move is one AOD row or column translation within a stage.
+type Move struct {
+	Array int  // AOD array index (>= 1; 0 is the fixed SLM)
+	IsRow bool // true = row (y axis), false = column (x axis)
+	Index int  // row/column index within the array
+	From  float64
+	To    float64
+}
+
+// Distance returns the translation length in meters.
+func (m Move) Distance() float64 {
+	d := m.To - m.From
+	if d < 0 {
+		d = -d
+	}
+	return d
+}
+
+// GateExec is one gate fired in a stage (slots are physical atoms; SlotB is
+// -1 for one-qubit gates). Param carries the rotation angle where relevant.
+type GateExec struct {
+	Op    circuit.Op
+	SlotA int
+	SlotB int
+	Param float64
+}
+
+// Stage is one router iteration: a batch of one-qubit gates, a set of AOD
+// row/column moves, and the parallel two-qubit gates the Rydberg pulse
+// executes after the moves.
+type Stage struct {
+	OneQ  []GateExec // one-qubit gates executed before the movement
+	Moves []Move
+	Gates []GateExec
+}
+
+// Schedule is the executable program the router emits.
+type Schedule struct {
+	Stages []Stage
+}
+
+// NumGates returns the total two-qubit gates across stages.
+func (s *Schedule) NumGates() int {
+	t := 0
+	for _, st := range s.Stages {
+		t += len(st.Gates)
+	}
+	return t
+}
+
+// MaxParallelism returns the largest two-qubit batch in any stage.
+func (s *Schedule) MaxParallelism() int {
+	m := 0
+	for _, st := range s.Stages {
+		if len(st.Gates) > m {
+			m = len(st.Gates)
+		}
+	}
+	return m
+}
+
+// String summarises the schedule.
+func (s *Schedule) String() string {
+	return fmt.Sprintf("schedule{stages: %d, 2Q gates: %d, max parallel: %d}",
+		len(s.Stages), s.NumGates(), s.MaxParallelism())
+}

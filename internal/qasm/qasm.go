@@ -140,6 +140,11 @@ func parseStatement(c **circuit.Circuit, stmt string) error {
 		if err != nil {
 			return err
 		}
+		if n < 0 {
+			// circuit.New panics on negative widths; a negative register is a
+			// syntax error, not a compiler bug.
+			return fmt.Errorf("negative qreg size %d", n)
+		}
 		if *c != nil {
 			return fmt.Errorf("multiple qreg declarations")
 		}

@@ -1,0 +1,130 @@
+// Package regress is the compiler's golden-snapshot regression harness: it
+// compiles a fixed corpus — every OpenQASM file under internal/qasm/testdata
+// plus three generated Table II-scale benchmarks — through the full pass
+// pipeline and diffs the canonical result envelope (report.Envelope with
+// wall times zeroed) against checked-in goldens. Any pass refactor that
+// changes compile output, however subtly, shows up as a reviewable JSON
+// diff. Refresh the goldens after an intentional change with
+//
+//	go test ./internal/regress -run TestGolden -update
+package regress
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"atomique/internal/bench"
+	"atomique/internal/circuit"
+	"atomique/internal/core"
+	"atomique/internal/hardware"
+	"atomique/internal/qasm"
+	"atomique/internal/report"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with current compile output")
+
+// goldenSeed fixes every corpus compilation; goldens are per-seed artifacts.
+const goldenSeed = 7
+
+// corpusEntry is one named circuit of the regression corpus.
+type corpusEntry struct {
+	name string
+	circ *circuit.Circuit
+}
+
+// corpus returns the regression inputs: the qasm testdata files (parsed
+// fresh each run, so parser regressions surface here too) and three
+// generated benchmarks covering the Table II circuit families (QAOA, QV,
+// BV) at sizes that exercise SWAP insertion, batching, and cooling.
+func corpus(t *testing.T) []corpusEntry {
+	t.Helper()
+	var entries []corpusEntry
+	files, err := filepath.Glob(filepath.Join("..", "qasm", "testdata", "*.qasm"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no qasm testdata found")
+	}
+	sort.Strings(files)
+	for _, f := range files {
+		src, err := os.Open(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := qasm.Parse(src)
+		src.Close()
+		if err != nil {
+			t.Fatalf("parse %s: %v", f, err)
+		}
+		name := strings.TrimSuffix(filepath.Base(f), ".qasm")
+		entries = append(entries, corpusEntry{name: "qasm-" + name, circ: c})
+	}
+	entries = append(entries,
+		corpusEntry{name: "gen-qaoa-regu5-40", circ: bench.QAOARegular(40, 5, 15)},
+		corpusEntry{name: "gen-qv-32", circ: bench.QV(32, 32, 3)},
+		corpusEntry{name: "gen-bv-50", circ: bench.BV(50, 22, 4)},
+	)
+	return entries
+}
+
+// compileCanonical runs one corpus circuit through the full pipeline and
+// renders its canonical envelope as indented JSON.
+func compileCanonical(t *testing.T, c *circuit.Circuit) []byte {
+	t.Helper()
+	res, err := core.Compile(hardware.DefaultConfig(), c, core.Options{Seed: goldenSeed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := report.NewEnvelope(c.Fingerprint(), res.Metrics).Canonical()
+	js, err := json.MarshalIndent(env, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(js, '\n')
+}
+
+func TestGolden(t *testing.T) {
+	for _, e := range corpus(t) {
+		t.Run(e.name, func(t *testing.T) {
+			got := compileCanonical(t, e.circ)
+			path := filepath.Join("testdata", e.name+".golden.json")
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update to create): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("compile output diverged from golden %s.\ngot:\n%s\nwant:\n%s\n(if intentional, refresh with -update)",
+					path, got, want)
+			}
+		})
+	}
+}
+
+// TestGoldenStableAcrossRuns guards the premise of the golden corpus: two
+// in-process compiles of the same corpus entry yield identical canonical
+// bytes (no map-ordering or wall-clock leakage).
+func TestGoldenStableAcrossRuns(t *testing.T) {
+	entries := corpus(t)
+	e := entries[0]
+	a := compileCanonical(t, e.circ)
+	b := compileCanonical(t, e.circ)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("canonical envelope unstable across runs:\n%s\nvs\n%s", a, b)
+	}
+}

@@ -69,3 +69,23 @@ func NewEnvelope(circuitHash string, m metrics.Compiled) Envelope {
 func (e Envelope) EncodeJSON() ([]byte, error) {
 	return json.Marshal(e)
 }
+
+// Canonical returns the envelope with every wall-clock measurement zeroed:
+// CompileSeconds, Metrics.CompileTime, and the per-pass Seconds (pass names
+// and gate/move counts stay — they are deterministic per seed). Two compiles
+// of the same (circuit, config, options, seed) triple must produce identical
+// canonical envelopes; the golden-snapshot regression corpus diffs exactly
+// this form.
+func (e Envelope) Canonical() Envelope {
+	e.CompileSeconds = 0
+	e.Metrics.CompileTime = 0
+	if len(e.Metrics.Passes) > 0 {
+		passes := make([]metrics.PassTiming, len(e.Metrics.Passes))
+		copy(passes, e.Metrics.Passes)
+		for i := range passes {
+			passes[i].Seconds = 0
+		}
+		e.Metrics.Passes = passes
+	}
+	return e
+}

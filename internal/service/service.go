@@ -150,7 +150,8 @@ type job struct {
 	finishedAt time.Time
 }
 
-// Stats is the /v1/stats payload: queue, worker, and cache counters.
+// Stats is the /v1/stats payload: queue, worker, cache, and per-pass
+// pipeline counters.
 type Stats struct {
 	Workers       int     `json:"workers"`
 	QueueCapacity int     `json:"queueCapacity"`
@@ -164,6 +165,12 @@ type Stats struct {
 	CacheMisses   uint64  `json:"cacheMisses"`
 	CacheEntries  int     `json:"cacheEntries"`
 	UptimeSeconds float64 `json:"uptimeSeconds"`
+	// PassSeconds is the cumulative wall time each compile-pipeline pass
+	// consumed across every non-cached compilation this engine executed,
+	// keyed by pass name; PassRuns counts those executions. Together they
+	// show where compile time goes fleet-wide (avg = seconds/runs).
+	PassSeconds map[string]float64 `json:"passSeconds,omitempty"`
+	PassRuns    uint64             `json:"passRuns,omitempty"`
 }
 
 // compileFunc is the engine's compilation backend; tests substitute it to
@@ -204,6 +211,12 @@ type Engine struct {
 	submitted, completed, failed, cancelled, rejected atomic.Uint64
 	hits, misses                                      atomic.Uint64
 
+	// passMu guards the per-pass instrumentation aggregated from every
+	// executed (non-cached) compilation's metrics.Passes.
+	passMu      sync.Mutex
+	passSeconds map[string]float64
+	passRuns    uint64
+
 	mu       sync.Mutex
 	jobs     map[string]*job
 	finished []string // FIFO of finished job IDs, for pruning
@@ -224,14 +237,15 @@ func newEngine(cfg Config, fn compileFunc) *Engine {
 	cfg = cfg.withDefaults()
 	ctx, stop := context.WithCancel(context.Background())
 	e := &Engine{
-		cfg:     cfg,
-		queue:   make(chan *job, cfg.QueueSize),
-		cache:   newLRUCache(cfg.CacheSize),
-		compile: fn,
-		ctx:     ctx,
-		stop:    stop,
-		start:   time.Now(),
-		jobs:    make(map[string]*job),
+		cfg:         cfg,
+		queue:       make(chan *job, cfg.QueueSize),
+		cache:       newLRUCache(cfg.CacheSize),
+		compile:     fn,
+		ctx:         ctx,
+		stop:        stop,
+		start:       time.Now(),
+		jobs:        make(map[string]*job),
+		passSeconds: make(map[string]float64),
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		e.wg.Add(1)
@@ -562,7 +576,16 @@ func (e *Engine) Cancel(id string) (bool, error) {
 
 // Stats returns a consistent snapshot of the engine counters.
 func (e *Engine) Stats() Stats {
+	e.passMu.Lock()
+	passSeconds := make(map[string]float64, len(e.passSeconds))
+	for k, v := range e.passSeconds {
+		passSeconds[k] = v
+	}
+	passRuns := e.passRuns
+	e.passMu.Unlock()
 	return Stats{
+		PassSeconds:   passSeconds,
+		PassRuns:      passRuns,
 		Workers:       e.cfg.Workers,
 		QueueCapacity: e.cfg.QueueSize,
 		QueueDepth:    len(e.queue),
@@ -646,11 +669,27 @@ func (e *Engine) execute(ctx context.Context, t task) *outcome {
 	if err != nil {
 		return &outcome{err: err}
 	}
+	e.recordPasses(m.Passes)
 	js, err := report.NewEnvelope(t.hash, m).EncodeJSON()
 	if err != nil {
 		return &outcome{err: fmt.Errorf("service: encode result: %w", err)}
 	}
 	return &outcome{metrics: m, json: js}
+}
+
+// recordPasses folds one compilation's per-pass timings into the engine-wide
+// aggregate surfaced by Stats. Cache hits never reach here, so the aggregate
+// reflects compute actually spent.
+func (e *Engine) recordPasses(passes []metrics.PassTiming) {
+	if len(passes) == 0 {
+		return
+	}
+	e.passMu.Lock()
+	e.passRuns++
+	for _, p := range passes {
+		e.passSeconds[p.Name] += p.Seconds
+	}
+	e.passMu.Unlock()
 }
 
 // finish moves a job to its terminal state and wakes waiters. It is

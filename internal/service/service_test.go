@@ -3,6 +3,7 @@ package service
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"sync"
 	"testing"
@@ -54,6 +55,57 @@ func TestCompileNamedBenchmark(t *testing.T) {
 	}
 	if !j.FinishedAt.After(j.SubmittedAt) {
 		t.Fatalf("finishedAt %v not after submittedAt %v", j.FinishedAt, j.SubmittedAt)
+	}
+}
+
+// TestPassTimingsInStatsAndEnvelope covers the pipeline instrumentation
+// end to end: a real compilation surfaces per-pass timings both in the
+// result envelope (metrics.passes) and in the engine-wide Stats aggregate,
+// while cache hits leave the aggregate untouched.
+func TestPassTimingsInStatsAndEnvelope(t *testing.T) {
+	e := New(Config{Workers: 2})
+	defer e.Close()
+	j, err := e.Compile(context.Background(), Request{Benchmark: "H2-4", Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var env struct {
+		Metrics struct {
+			Passes []struct {
+				Name    string  `json:"name"`
+				Seconds float64 `json:"seconds"`
+			} `json:"passes"`
+		} `json:"metrics"`
+	}
+	if err := json.Unmarshal(j.Result, &env); err != nil {
+		t.Fatal(err)
+	}
+	names := core.PassNames()
+	if len(env.Metrics.Passes) != len(names) {
+		t.Fatalf("envelope has %d passes, want %d", len(env.Metrics.Passes), len(names))
+	}
+	for i, p := range env.Metrics.Passes {
+		if p.Name != names[i] {
+			t.Errorf("envelope pass %d = %q, want %q", i, p.Name, names[i])
+		}
+	}
+
+	st := e.Stats()
+	if st.PassRuns != 1 {
+		t.Fatalf("passRuns = %d, want 1", st.PassRuns)
+	}
+	for _, name := range names {
+		if _, ok := st.PassSeconds[name]; !ok {
+			t.Errorf("stats missing pass %q: %v", name, st.PassSeconds)
+		}
+	}
+
+	// A cache hit performs no passes: the aggregate must not move.
+	if _, err := e.Compile(context.Background(), Request{Benchmark: "H2-4", Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if st := e.Stats(); st.PassRuns != 1 {
+		t.Errorf("passRuns after cache hit = %d, want 1", st.PassRuns)
 	}
 }
 
