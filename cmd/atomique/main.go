@@ -1,44 +1,57 @@
-// Command atomique compiles a benchmark circuit for a reconfigurable atom
-// array and prints the compilation metrics: two-qubit gates, depth (movement
-// stages), SWAP overhead, movement distance, cooling events, execution time,
-// and the fidelity breakdown.
+// Command atomique compiles a benchmark circuit with any registered compiler
+// backend and prints the compilation metrics: two-qubit gates, depth
+// (movement stages), SWAP overhead, movement distance, cooling events,
+// execution time, and the fidelity breakdown.
 //
 // Usage:
 //
-//	atomique -bench QAOA-regu5-40 [-slm 10] [-aods 2] [-aodsize 10]
-//	         [-serial] [-dense] [-relax 1,2,3] [-schedule] [-seed 7]
-//	atomique -list
+//	atomique -bench QAOA-regu5-40 [-backend atomique] [-slm 10] [-aods 2]
+//	         [-aodsize 10] [-serial] [-dense] [-relax 1,2,3] [-schedule]
+//	         [-seed 7]
+//	atomique -backend sabre -family triangular -bench QV-32
+//	atomique -list          # benchmarks
+//	atomique -backends      # registered compiler backends
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"atomique/internal/bench"
+	"atomique/internal/compiler"
 	"atomique/internal/core"
 	"atomique/internal/fidelity"
 	"atomique/internal/hardware"
 	"atomique/internal/qasm"
 	"atomique/internal/viz"
+
+	_ "atomique/internal/compiler/backends" // register the built-in backends
 )
 
 func main() {
 	var (
-		name     = flag.String("bench", "QAOA-regu5-40", "benchmark name (see -list)")
-		qasmIn   = flag.String("qasm", "", "compile an OpenQASM 2.0 file instead of a benchmark")
-		emit     = flag.String("emit", "", "write the selected benchmark as OpenQASM 2.0 to this file and exit ('-' for stdout)")
-		list     = flag.Bool("list", false, "list available benchmarks and exit")
-		slm      = flag.Int("slm", 10, "SLM array side length")
-		aods     = flag.Int("aods", 2, "number of AOD arrays")
-		aodSize  = flag.Int("aodsize", 10, "AOD array side length")
-		seed     = flag.Int64("seed", 7, "compilation seed")
-		serial   = flag.Bool("serial", false, "ablate: serial router (one gate per stage)")
-		dense    = flag.Bool("dense", false, "ablate: round-robin array mapper")
-		relax    = flag.String("relax", "", "comma-separated constraints to relax (1,2,3)")
-		schedule = flag.Bool("schedule", false, "print the movement/gate schedule")
-		vizFlag  = flag.Bool("viz", false, "render placement + stage diagrams")
-		jsonOut  = flag.String("json", "", "export the schedule as JSON to this file ('-' for stdout)")
+		name         = flag.String("bench", "QAOA-regu5-40", "benchmark name (see -list)")
+		qasmIn       = flag.String("qasm", "", "compile an OpenQASM 2.0 file instead of a benchmark")
+		emit         = flag.String("emit", "", "write the selected benchmark as OpenQASM 2.0 to this file and exit ('-' for stdout)")
+		list         = flag.Bool("list", false, "list available benchmarks and exit")
+		listBackends = flag.Bool("backends", false, "list registered compiler backends and exit")
+		backendName  = flag.String("backend", "atomique", "compiler backend (see -backends)")
+		family       = flag.String("family", "", "coupling family for fixed-topology backends (superconducting, rectangular, triangular, long-range)")
+		slm          = flag.Int("slm", 10, "SLM array side length (FPQA backends)")
+		aods         = flag.Int("aods", 2, "number of AOD arrays (FPQA backends)")
+		aodSize      = flag.Int("aodsize", 10, "AOD array side length (FPQA backends)")
+		seed         = flag.Int64("seed", 7, "compilation seed")
+		serial       = flag.Bool("serial", false, "ablate: serial router (one gate per stage)")
+		dense        = flag.Bool("dense", false, "ablate: round-robin array mapper")
+		relax        = flag.String("relax", "", "comma-separated constraints to relax (1,2,3)")
+		exact        = flag.Bool("exact", false, "solver backends: exact (exponential) mode")
+		budget       = flag.Float64("budget", 0, "solver backends: compile budget in seconds (0 = default)")
+		schedule     = flag.Bool("schedule", false, "print the movement/gate schedule")
+		vizFlag      = flag.Bool("viz", false, "render placement + stage diagrams")
+		jsonOut      = flag.String("json", "", "export the schedule as JSON to this file ('-' for stdout)")
 	)
 	flag.Parse()
 
@@ -50,6 +63,28 @@ func main() {
 		}
 		return
 	}
+	if *listBackends {
+		for _, b := range compiler.List() {
+			caps := b.Capabilities()
+			kinds := ""
+			if caps.FPQA {
+				kinds += " fpqa"
+			}
+			if caps.Coupling {
+				kinds += " coupling"
+			}
+			fmt.Printf("%-10s%-10s %s\n", b.Name(), kinds, caps.Description)
+		}
+		return
+	}
+
+	backend, ok := compiler.Lookup(*backendName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "atomique: unknown backend %q (registered: %v)\n",
+			*backendName, compiler.Names())
+		os.Exit(1)
+	}
+	caps := backend.Capabilities()
 
 	var circ *bench.Benchmark
 	if *qasmIn != "" {
@@ -92,29 +127,96 @@ func main() {
 		return
 	}
 
-	cfg := hardware.BuildConfig(*slm, *aods, *aodSize, hardware.NeutralAtom())
-	opts := core.Options{Seed: *seed, SerialRouter: *serial, DenseMapper: *dense}
+	// Device selection. Flags for the other target kind are rejected, not
+	// silently ignored — matching the service's resolveTarget policy.
+	// (Option flags like -serial/-relax are backend-independent knobs that
+	// non-atomique backends legitimately ignore.) An FPQA backend with no
+	// machine flags gets the auto target, i.e. its own canonical device
+	// (atomique: the paper-default machine grown to fit; solverref: the
+	// 16x16 OLSQ-DPQA arrays) — exactly like an unset -family resolves to a
+	// coupling backend's canonical topology.
+	machineFlagSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "slm" || f.Name == "aods" || f.Name == "aodsize" {
+			machineFlagSet = true
+		}
+	})
+	var tgt compiler.Target
+	var cfg hardware.Config
+	switch {
+	case caps.FPQA:
+		if *family != "" {
+			fmt.Fprintf(os.Stderr, "atomique: -family applies only to fixed-topology backends (%s compiles FPQA machines)\n", backend.Name())
+			os.Exit(1)
+		}
+		if machineFlagSet {
+			cfg = hardware.BuildConfig(*slm, *aods, *aodSize, hardware.NeutralAtom())
+			tgt = compiler.FPQA(cfg)
+		} else {
+			// cfg is still needed for -viz/-json rendering; for the auto
+			// target the atomique backend compiles on exactly this machine.
+			cfg = compiler.DefaultFPQAConfig(circ.Circ.N)
+		}
+	default:
+		if machineFlagSet {
+			fmt.Fprintf(os.Stderr, "atomique: -slm/-aods/-aodsize apply only to FPQA backends (%s compiles fixed topologies; use -family)\n", backend.Name())
+			os.Exit(1)
+		}
+		if *family != "" {
+			tgt = compiler.Coupling(*family, 0)
+			if err := tgt.Validate(); err != nil {
+				fmt.Fprintf(os.Stderr, "atomique: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+
+	if *budget < 0 {
+		fmt.Fprintln(os.Stderr, "atomique: -budget must be non-negative seconds")
+		os.Exit(1)
+	}
+	opts := compiler.Options{Seed: *seed, SerialRouter: *serial, DenseMapper: *dense,
+		Exact: *exact, BudgetSeconds: *budget}
 	if err := opts.ApplyRelax(*relax); err != nil {
 		fmt.Fprintf(os.Stderr, "atomique: bad -relax flag: %v\n", err)
 		os.Exit(1)
 	}
 
-	res, err := core.Compile(cfg, circ.Circ, opts)
+	res, err := backend.Compile(context.Background(), tgt, circ.Circ, opts)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "atomique: %v\n", err)
 		os.Exit(1)
 	}
 	m := res.Metrics
+	coreRes, hasSchedule := res.Artifact.(*core.Result)
+
+	fmt.Printf("backend          %s\n", res.Backend)
 	fmt.Printf("benchmark        %s (%d qubits, %d 2Q + %d 1Q gates)\n",
 		circ.Name, circ.Circ.N, circ.Circ.Num2Q(), circ.Circ.Num1Q())
-	fmt.Printf("machine          %dx%d SLM + %d x %dx%d AOD\n",
-		*slm, *slm, *aods, *aodSize, *aodSize)
+	switch {
+	case caps.FPQA && (machineFlagSet || hasSchedule):
+		// The atomique backend compiles on cfg even for the auto target.
+		fmt.Printf("machine          %dx%d SLM + %d x %dx%d AOD\n",
+			cfg.SLM.Rows, cfg.SLM.Cols, len(cfg.AODs), cfg.AODs[0].Rows, cfg.AODs[0].Cols)
+	case caps.FPQA:
+		fmt.Printf("machine          auto (%s default)\n", res.Backend)
+	default:
+		fmt.Printf("device           %s (%s)\n", m.Arch, tgt)
+	}
+	if res.TimedOut {
+		fmt.Printf("TIMED OUT after  %v\n", m.CompileTime)
+		return
+	}
 	fmt.Printf("2Q executed      %d (swaps inserted: %d, +%d CNOT)\n",
 		m.N2Q, m.SwapCount, m.AddedCNOTs)
-	fmt.Printf("depth (stages)   %d   max parallel gates: %d\n",
-		m.Depth2Q, res.Schedule.MaxParallelism())
-	fmt.Printf("movement         %.3f mm total, %d cooling events, %d overlap rejections\n",
-		m.TotalMoveDist*1e3, m.CoolingEvents, m.Overlaps)
+	if hasSchedule {
+		fmt.Printf("depth (stages)   %d   max parallel gates: %d\n",
+			m.Depth2Q, coreRes.Schedule.MaxParallelism())
+		fmt.Printf("movement         %.3f mm total, %d cooling events, %d overlap rejections\n",
+			m.TotalMoveDist*1e3, m.CoolingEvents, m.Overlaps)
+	} else {
+		fmt.Printf("depth (2Q)       %d\n", m.Depth2Q)
+	}
 	fmt.Printf("execution time   %.4f s\n", m.ExecutionTime)
 	fmt.Printf("compile time     %v\n", m.CompileTime)
 	if len(m.Passes) > 0 {
@@ -124,27 +226,44 @@ func main() {
 		}
 		fmt.Println()
 	}
-	fmt.Printf("fidelity         %.4f\n", m.FidelityTotal())
-	labels := fidelity.Labels()
-	for i, v := range m.Fidelity.NegLog() {
-		fmt.Printf("  -log10 %-18s %.4g\n", labels[i], v)
+	if len(res.Extra) > 0 {
+		keys := make([]string, 0, len(res.Extra))
+		for k := range res.Extra {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Printf("%-16s %g\n", k, res.Extra[k])
+		}
+	}
+	if m.FidelityTotal() > 0 {
+		fmt.Printf("fidelity         %.4f\n", m.FidelityTotal())
+		labels := fidelity.Labels()
+		for i, v := range m.Fidelity.NegLog() {
+			fmt.Printf("  -log10 %-18s %.4g\n", labels[i], v)
+		}
+	}
+
+	if (*schedule || *vizFlag || *jsonOut != "") && !hasSchedule {
+		fmt.Fprintf(os.Stderr, "atomique: backend %q does not produce a movement schedule (-schedule/-viz/-json need the atomique backend)\n", res.Backend)
+		os.Exit(1)
 	}
 
 	if *schedule {
 		fmt.Println()
-		for i, st := range res.Schedule.Stages {
+		for i, st := range coreRes.Schedule.Stages {
 			fmt.Printf("stage %4d: %d 1Q, %d moves, %d 2Q gates\n",
 				i, len(st.OneQ), len(st.Moves), len(st.Gates))
 			for _, g := range st.Gates {
 				fmt.Printf("  %s %s <-> %s\n", g.Op,
-					res.SiteOf[g.SlotA], res.SiteOf[g.SlotB])
+					coreRes.SiteOf[g.SlotA], coreRes.SiteOf[g.SlotB])
 			}
 		}
 	}
 
 	if *vizFlag {
 		fmt.Println()
-		viz.Summary(os.Stdout, cfg, res)
+		viz.Summary(os.Stdout, cfg, coreRes)
 	}
 
 	if *jsonOut != "" {
@@ -158,7 +277,7 @@ func main() {
 			defer f.Close()
 			out = f
 		}
-		if err := core.ExportJSON(out, cfg, res); err != nil {
+		if err := core.ExportJSON(out, cfg, coreRes); err != nil {
 			fmt.Fprintf(os.Stderr, "atomique: %v\n", err)
 			os.Exit(1)
 		}

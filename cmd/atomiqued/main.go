@@ -8,7 +8,9 @@
 //	          [-slm 10] [-aods 2] [-aodsize 10]
 //
 // Endpoints: POST /v1/compile, POST /v1/compile/batch, GET /v1/jobs/{id},
-// DELETE /v1/jobs/{id}, GET /v1/benchmarks, GET /v1/healthz, GET /v1/stats.
+// DELETE /v1/jobs/{id}, GET /v1/backends, GET /v1/benchmarks,
+// GET /v1/healthz, GET /v1/stats. Requests select a compiler backend via
+// the "backend" field (default "atomique"; discover via GET /v1/backends).
 package main
 
 import (
@@ -23,6 +25,7 @@ import (
 	"syscall"
 	"time"
 
+	"atomique/internal/compiler"
 	"atomique/internal/core"
 	"atomique/internal/hardware"
 	"atomique/internal/service"
@@ -69,6 +72,8 @@ func main() {
 		*addr, *slm, *slm, *aods, *aodSize, *aodSize, *queue, *cache)
 	fmt.Printf("atomiqued: compile pipeline: %s (per-pass timings in GET /v1/stats)\n",
 		strings.Join(core.PassNames(), " -> "))
+	fmt.Printf("atomiqued: backends: %s (select via the request backend field)\n",
+		strings.Join(compiler.Names(), ", "))
 
 	select {
 	case <-ctx.Done():

@@ -19,7 +19,7 @@ import (
 	"time"
 
 	"atomique/internal/circuit"
-	"atomique/internal/core"
+	"atomique/internal/compiler"
 	"atomique/internal/exp"
 	"atomique/internal/hardware"
 	"atomique/internal/metrics"
@@ -43,7 +43,7 @@ func main() {
 				st.Submitted, st.CacheHits, st.CacheMisses, st.CacheEntries)
 			engine.Close()
 		}()
-		exp.SetCompiler(func(cfg hardware.Config, c *circuit.Circuit, opts core.Options) (metrics.Compiled, error) {
+		exp.SetCompiler(func(cfg hardware.Config, c *circuit.Circuit, opts compiler.Options) (metrics.Compiled, error) {
 			return engine.CompileMetrics(context.Background(), cfg, c, opts)
 		})
 	}

@@ -84,16 +84,6 @@ func BakerLongRange(n int) Arch {
 	}
 }
 
-// Baselines returns the four Fig 13 baselines sized for an n-qubit circuit.
-func Baselines(n int) []Arch {
-	return []Arch{
-		Superconducting(),
-		BakerLongRange(n),
-		FAARectangular(n),
-		FAATriangular(n),
-	}
-}
-
 // Compile routes circ onto the architecture and returns the evaluation
 // metrics (gate counts, 2Q depth, added CNOTs, execution time, fidelity).
 func Compile(a Arch, circ *circuit.Circuit, seed int64) (metrics.Compiled, error) {

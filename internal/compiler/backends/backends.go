@@ -1,0 +1,38 @@
+// Package backends registers every built-in compiler with the unified
+// backend registry (internal/compiler):
+//
+//	atomique   the paper's RAA pass pipeline (internal/core)
+//	sabre      fixed-topology SABRE baselines (internal/arch, Fig 13)
+//	geyser     Geyser three-qubit-pulse comparator (internal/geyser, Table III)
+//	qpilot     Q-Pilot flying-ancilla comparator (internal/qpilot, Fig 19)
+//	solverref  Tan-Solver/Tan-IterP references (internal/solverref, Fig 14)
+//
+// Importing this package (blank import suffices) makes all of them reachable
+// through compiler.Lookup; the CLI, the compile service, and the experiment
+// drivers do exactly that.
+package backends
+
+import (
+	"context"
+	"fmt"
+
+	"atomique/internal/compiler"
+)
+
+func init() {
+	compiler.Register(atomiqueBackend{})
+	compiler.Register(sabreBackend{})
+	compiler.Register(geyserBackend{})
+	compiler.Register(qpilotBackend{})
+	compiler.Register(solverrefBackend{})
+}
+
+// checkCtx is the minimum cancellation contract every adapter honours on
+// entry; backends with long-running inner loops (atomique) additionally
+// check mid-compile.
+func checkCtx(ctx context.Context, name string) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("%s: compilation cancelled: %w", name, err)
+	}
+	return nil
+}

@@ -1,0 +1,26 @@
+package backends
+
+import (
+	"context"
+	"testing"
+
+	"atomique/internal/bench"
+	"atomique/internal/compiler"
+)
+
+// BenchmarkBackends compiles one Table II-scale workload per registered
+// backend (auto target, fixed seed). CI's bench smoke step runs it with
+// -benchtime=1x to print per-backend compile times side by side.
+func BenchmarkBackends(b *testing.B) {
+	c := bench.QAOARegular(40, 5, 15)
+	for _, be := range compiler.List() {
+		b.Run(be.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := be.Compile(context.Background(), compiler.Target{}, c,
+					compiler.Options{Seed: 7}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,40 @@
+package backends
+
+import (
+	"context"
+	"time"
+
+	"atomique/internal/circuit"
+	"atomique/internal/compiler"
+	"atomique/internal/qpilot"
+)
+
+// qpilotBackend adapts the Q-Pilot flying-ancilla comparator
+// (internal/qpilot). FPQA targets contribute their physical parameters; the
+// geometry is Q-Pilot's own fixed-compute-plus-ancilla layout.
+type qpilotBackend struct{}
+
+func (qpilotBackend) Name() string { return "qpilot" }
+
+func (qpilotBackend) Capabilities() compiler.Capabilities {
+	return compiler.Capabilities{
+		Description:   "Q-Pilot flying-ancilla scheduler: parity ladders over movable ancillas (Fig 19 comparator)",
+		FPQA:          true,
+		Movement:      true,
+		Deterministic: true,
+	}
+}
+
+func (b qpilotBackend) Compile(ctx context.Context, tgt compiler.Target, circ *circuit.Circuit, opts compiler.Options) (*compiler.Result, error) {
+	if err := checkCtx(ctx, "qpilot"); err != nil {
+		return nil, err
+	}
+	cfg, err := tgt.Hardware(circ.N)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	m := qpilot.CompileOn(cfg.Params, circ, opts.Seed)
+	m.CompileTime = time.Since(start)
+	return &compiler.Result{Backend: b.Name(), Metrics: m}, nil
+}

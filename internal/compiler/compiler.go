@@ -1,0 +1,138 @@
+// Package compiler defines the unified multi-backend compilation API. Every
+// compiler in this repository — Atomique's pass pipeline (internal/core), the
+// fixed-topology SABRE baselines (internal/arch), Geyser (internal/geyser),
+// Q-Pilot (internal/qpilot), and the solver references (internal/solverref) —
+// is exposed as a Backend registered under a stable name, compiled against a
+// validated Target device description, and reports a common Result envelope.
+// The CLI (-backend), the compile service (the request "backend" field and
+// GET /v1/backends), and the experiment drivers all select compilers through
+// the registry, so a future backend (a ZAP-style zoned compiler, an
+// Arctic-style scheduler) is a drop-in Register call.
+package compiler
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"atomique/internal/circuit"
+	"atomique/internal/metrics"
+)
+
+// Backend is one registered compiler. Implementations must be safe for
+// concurrent use: the service worker pool calls Compile from many goroutines.
+type Backend interface {
+	// Name is the stable registry key ("atomique", "geyser", ...).
+	Name() string
+	// Capabilities describes what the backend supports; discovery endpoints
+	// and the conformance suite key off it.
+	Capabilities() Capabilities
+	// Compile runs the backend on circ for the target device. The zero
+	// Target selects the backend's canonical device sized for the circuit.
+	// Backends honour ctx cancellation at minimum on entry; long-running
+	// backends also check it while compiling.
+	Compile(ctx context.Context, tgt Target, circ *circuit.Circuit, opts Options) (*Result, error)
+}
+
+// Capabilities declares a backend's contract.
+type Capabilities struct {
+	// Description is a one-line human-readable summary.
+	Description string `json:"description"`
+	// FPQA: accepts KindFPQA targets (reconfigurable SLM+AOD machines).
+	FPQA bool `json:"fpqa"`
+	// Coupling: accepts KindCoupling targets (fixed-topology devices).
+	Coupling bool `json:"coupling"`
+	// Movement: the schedule physically moves atoms (movement fidelity
+	// terms are populated).
+	Movement bool `json:"movement"`
+	// Routes: the backend routes via SWAP insertion and preserves the
+	// two-qubit interaction multiset, so for circuits native to the target
+	// Metrics.N2Q == input 2Q count + Metrics.AddedCNOTs.
+	Routes bool `json:"routes"`
+	// Deterministic: identical (target, circuit, options) inputs produce
+	// identical metrics up to wall-clock timings in the backend's default
+	// option configuration. Anytime modes that spend a wall-clock budget
+	// exploring (e.g. solverref's Exact) are excluded: their metrics depend
+	// on how far the budget reached.
+	Deterministic bool `json:"deterministic"`
+}
+
+// Options is the backend-independent option envelope. Backends consume the
+// fields they understand and ignore the rest; the zero value is every
+// backend's default configuration. All fields participate in the service's
+// content-addressed cache key, so they must remain JSON-serializable.
+type Options struct {
+	// Seed drives every randomised tie-break (all backends).
+	Seed int64 `json:"seed,omitempty"`
+	// Gamma is Atomique's gate-frequency decay (0 = default 0.95).
+	Gamma float64 `json:"gamma,omitempty"`
+
+	// Atomique ablation switches (Fig 21).
+	SerialRouter     bool `json:"serialRouter,omitempty"`
+	DenseMapper      bool `json:"denseMapper,omitempty"`
+	RandomAtomMapper bool `json:"randomAtomMapper,omitempty"`
+
+	// Atomique constraint relaxations (Fig 22).
+	RelaxAddressing bool `json:"relaxAddressing,omitempty"`
+	RelaxOrder      bool `json:"relaxOrder,omitempty"`
+	RelaxOverlap    bool `json:"relaxOverlap,omitempty"`
+
+	// Exact selects the exponential exact mode of solver-style backends
+	// (solverref: Tan-Solver instead of Tan-IterP).
+	Exact bool `json:"exact,omitempty"`
+	// BudgetSeconds bounds wall-clock compile time for anytime/solver
+	// backends (0 = backend default).
+	BudgetSeconds float64 `json:"budgetSeconds,omitempty"`
+}
+
+// ApplyRelax parses a comma-separated list of constraint IDs ("1", "2", "3",
+// per Fig 22) and sets the corresponding relaxation switches, mirroring
+// core.Options.ApplyRelax. Unknown or duplicate IDs are rejected with an
+// error naming the valid set. Empty entries (and an empty spec) are allowed.
+func (o *Options) ApplyRelax(spec string) error {
+	seen := [4]bool{}
+	for _, r := range strings.Split(spec, ",") {
+		id := strings.TrimSpace(r)
+		if id == "" {
+			continue
+		}
+		var which int
+		switch id {
+		case "1":
+			o.RelaxAddressing = true
+			which = 1
+		case "2":
+			o.RelaxOrder = true
+			which = 2
+		case "3":
+			o.RelaxOverlap = true
+			which = 3
+		default:
+			return fmt.Errorf("compiler: unknown relax constraint %q (valid IDs: 1=addressing, 2=order, 3=overlap)", id)
+		}
+		if seen[which] {
+			return fmt.Errorf("compiler: duplicate relax constraint %q", id)
+		}
+		seen[which] = true
+	}
+	return nil
+}
+
+// Result is the envelope every backend populates.
+type Result struct {
+	// Backend is the producing backend's registry name.
+	Backend string `json:"backend"`
+	// Metrics is the common evaluation record (gate counts, depth, fidelity
+	// breakdown, per-pass timings where the backend runs as a pipeline).
+	Metrics metrics.Compiled `json:"metrics"`
+	// TimedOut reports that an anytime/solver backend exhausted its budget;
+	// Metrics then carries only compile time.
+	TimedOut bool `json:"timedOut,omitempty"`
+	// Extra carries backend-specific scalar outputs (e.g. Geyser's block and
+	// pulse counts) that have no slot in the common metrics record.
+	Extra map[string]float64 `json:"extra,omitempty"`
+	// Artifact is the backend's rich native result for in-process consumers
+	// (the atomique backend stores its *core.Result here so the CLI can
+	// print schedules and render placements). Never serialized.
+	Artifact any `json:"-"`
+}

@@ -1,0 +1,194 @@
+package compiler
+
+import (
+	"context"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"atomique/internal/circuit"
+	"atomique/internal/hardware"
+)
+
+func TestTargetValidate(t *testing.T) {
+	cases := []struct {
+		name    string
+		tgt     Target
+		wantErr bool
+	}{
+		{"auto", Target{}, false},
+		{"auto with payload", Target{FPQA: &hardware.Config{}}, true},
+		{"fpqa default", FPQA(hardware.DefaultConfig()), false},
+		{"fpqa invalid machine", FPQA(hardware.Config{SLM: hardware.ArraySpec{Rows: 3, Cols: 3}}), true},
+		{"fpqa missing payload", Target{Kind: KindFPQA}, true},
+		{"fpqa with coupling payload", Target{Kind: KindFPQA, FPQA: func() *hardware.Config { c := hardware.DefaultConfig(); return &c }(), Coupling: &CouplingSpec{Family: FamilyRectangular}}, true},
+		{"coupling rectangular", Coupling(FamilyRectangular, 16), false},
+		{"coupling zero qubits", Coupling(FamilyTriangular, 0), false},
+		{"coupling negative qubits", Coupling(FamilyTriangular, -1), true},
+		{"coupling unknown family", Coupling("hexagonal", 16), true},
+		{"coupling missing spec", Target{Kind: KindCoupling}, true},
+		{"unknown kind", Target{Kind: "zoned"}, true},
+	}
+	for _, tc := range cases {
+		if err := tc.tgt.Validate(); (err != nil) != tc.wantErr {
+			t.Errorf("%s: Validate() = %v, wantErr %v", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
+func TestTargetJSONRoundTrip(t *testing.T) {
+	for _, tgt := range []Target{
+		{},
+		FPQA(hardware.DefaultConfig()),
+		Coupling(FamilyLongRange, 40),
+		CouplingWithParams(FamilyRectangular, 20, hardware.NeutralAtom()),
+	} {
+		js, err := json.Marshal(tgt)
+		if err != nil {
+			t.Fatalf("marshal %s: %v", tgt, err)
+		}
+		var back Target
+		if err := json.Unmarshal(js, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", tgt, err)
+		}
+		if !reflect.DeepEqual(tgt, back) {
+			t.Errorf("round trip changed target: %+v -> %+v", tgt, back)
+		}
+		if err := back.Validate(); err != nil {
+			t.Errorf("round-tripped %s invalid: %v", tgt, err)
+		}
+	}
+}
+
+func TestTargetMaterialisation(t *testing.T) {
+	cfg, err := Target{}.Hardware(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Capacity() < 40 {
+		t.Errorf("auto hardware capacity %d below circuit size", cfg.Capacity())
+	}
+	// Auto grows past the default 300 sites.
+	big, err := Target{}.Hardware(500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Capacity() < 500 {
+		t.Errorf("grown capacity %d below 500", big.Capacity())
+	}
+	if _, err := Coupling(FamilyRectangular, 9).Hardware(9); err == nil {
+		t.Error("coupling target materialised as FPQA hardware")
+	}
+
+	a, err := Coupling(FamilyTriangular, 9).Arch(4, FamilyRectangular)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Name != "FAA-Triangular" || a.Coupling.N < 9 {
+		t.Errorf("triangular arch = %s with %d sites", a.Name, a.Coupling.N)
+	}
+	// Auto target resolves to the fallback family sized for the circuit.
+	a, err = Target{}.Arch(12, FamilyRectangular)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Name != "FAA-Rectangular" || a.Coupling.N < 12 {
+		t.Errorf("auto arch = %s with %d sites", a.Name, a.Coupling.N)
+	}
+	// Parameter overrides survive materialisation.
+	p := hardware.NeutralAtom()
+	p.CoherenceT1 = 99
+	a, err = CouplingWithParams(FamilyLongRange, 16, p).Arch(16, FamilyRectangular)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Params.CoherenceT1 != 99 {
+		t.Errorf("params override lost: T1 = %v", a.Params.CoherenceT1)
+	}
+	if _, err := FPQA(hardware.DefaultConfig()).Arch(10, FamilyRectangular); err == nil {
+		t.Error("fpqa target materialised as fixed-topology arch")
+	}
+}
+
+func TestOptionsApplyRelax(t *testing.T) {
+	var o Options
+	if err := o.ApplyRelax("1, 3"); err != nil {
+		t.Fatal(err)
+	}
+	if !o.RelaxAddressing || o.RelaxOrder || !o.RelaxOverlap {
+		t.Errorf("relax flags = %+v", o)
+	}
+	if err := new(Options).ApplyRelax(""); err != nil {
+		t.Errorf("empty spec rejected: %v", err)
+	}
+	var trail Options
+	if err := trail.ApplyRelax("2,,"); err != nil {
+		t.Errorf("trailing empty entries rejected: %v", err)
+	}
+	if !trail.RelaxOrder || trail.RelaxAddressing || trail.RelaxOverlap {
+		t.Errorf("relax flags after \"2,,\" = %+v", trail)
+	}
+	if err := new(Options).ApplyRelax("4"); err == nil {
+		t.Error("unknown constraint accepted")
+	}
+	if err := new(Options).ApplyRelax("2,2"); err == nil {
+		t.Error("duplicate constraint accepted")
+	}
+}
+
+// fakeBackend exercises the registry without touching real compilers.
+type fakeBackend struct{ name string }
+
+func (f fakeBackend) Name() string               { return f.name }
+func (f fakeBackend) Capabilities() Capabilities { return Capabilities{Description: "fake"} }
+func (f fakeBackend) Compile(context.Context, Target, *circuit.Circuit, Options) (*Result, error) {
+	return &Result{Backend: f.name}, nil
+}
+
+func TestRegistry(t *testing.T) {
+	Register(fakeBackend{"zz-test-b"})
+	Register(fakeBackend{"zz-test-a"})
+	defer func() {
+		regMu.Lock()
+		delete(registry, "zz-test-a")
+		delete(registry, "zz-test-b")
+		regMu.Unlock()
+	}()
+
+	if _, ok := Lookup("zz-test-a"); !ok {
+		t.Fatal("registered backend not found")
+	}
+	if _, ok := Lookup("no-such-backend"); ok {
+		t.Fatal("unknown backend found")
+	}
+	names := Names()
+	ia, ib := -1, -1
+	for i, n := range names {
+		switch n {
+		case "zz-test-a":
+			ia = i
+		case "zz-test-b":
+			ib = i
+		}
+	}
+	if ia < 0 || ib < 0 || ia > ib {
+		t.Errorf("Names() not sorted or incomplete: %v", names)
+	}
+
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("duplicate Register did not panic")
+			}
+		}()
+		Register(fakeBackend{"zz-test-a"})
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("empty-name Register did not panic")
+			}
+		}()
+		Register(fakeBackend{""})
+	}()
+}

@@ -1,0 +1,137 @@
+// Package conformance is the shared backend contract suite: one table-driven
+// battery run against every registered compiler backend. It checks the
+// properties the rest of the system relies on — populated metrics, seed
+// determinism (the service cache's premise), context cancellation, and
+// two-qubit accounting for routing backends. New backends get conformance
+// coverage for free the moment they Register.
+package conformance
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"atomique/internal/circuit"
+	"atomique/internal/compiler"
+	"atomique/internal/metrics"
+)
+
+// Circuit returns the conformance workload: a 10-qubit circuit of H/RZ/CX
+// layers with non-local interactions, so every backend must genuinely route.
+// It deliberately uses only gates native to every target family (no ZZ, which
+// the superconducting baseline would decompose and skew 2Q accounting).
+func Circuit() *circuit.Circuit {
+	c := circuit.New(10)
+	for q := 0; q < c.N; q++ {
+		c.H(q)
+	}
+	for _, d := range []int{1, 3, 5} {
+		for i := 0; i < c.N; i++ {
+			c.CX(i, (i+d)%c.N)
+		}
+		for q := 0; q < c.N; q++ {
+			c.RZ(q, 0.25*float64(d))
+		}
+	}
+	return c
+}
+
+// canonical strips wall-clock measurements so two runs of the same
+// compilation compare equal.
+func canonical(m metrics.Compiled) metrics.Compiled {
+	m.CompileTime = 0
+	passes := make([]metrics.PassTiming, len(m.Passes))
+	copy(passes, m.Passes)
+	for i := range passes {
+		passes[i].Seconds = 0
+	}
+	if len(passes) == 0 {
+		passes = nil
+	}
+	m.Passes = passes
+	return m
+}
+
+// compile runs the backend on the conformance circuit with its default
+// (auto) target.
+func compile(t *testing.T, b compiler.Backend, opts compiler.Options) *compiler.Result {
+	t.Helper()
+	res, err := b.Compile(context.Background(), compiler.Target{}, Circuit(), opts)
+	if err != nil {
+		t.Fatalf("backend %q: %v", b.Name(), err)
+	}
+	if res == nil {
+		t.Fatalf("backend %q returned nil result without error", b.Name())
+	}
+	return res
+}
+
+// Run executes the conformance battery against one backend.
+func Run(t *testing.T, b compiler.Backend) {
+	caps := b.Capabilities()
+	circ := Circuit()
+
+	t.Run("metrics", func(t *testing.T) {
+		res := compile(t, b, compiler.Options{Seed: 11})
+		if res.Backend != b.Name() {
+			t.Errorf("result backend = %q, want %q", res.Backend, b.Name())
+		}
+		m := res.Metrics
+		if m.Arch == "" {
+			t.Error("metrics missing architecture label")
+		}
+		if m.NQubits != circ.N {
+			t.Errorf("NQubits = %d, want %d", m.NQubits, circ.N)
+		}
+		if m.N2Q <= 0 {
+			t.Errorf("N2Q = %d for a circuit with %d two-qubit gates", m.N2Q, circ.Num2Q())
+		}
+		if m.ExecutionTime < 0 || m.TotalMoveDist < 0 || m.Depth2Q < 0 {
+			t.Errorf("negative metric in %+v", m)
+		}
+		if caps.Movement && m.FidelityTotal() <= 0 {
+			t.Errorf("movement backend reports non-positive fidelity %v", m.FidelityTotal())
+		}
+	})
+
+	t.Run("deterministic-per-seed", func(t *testing.T) {
+		if !caps.Deterministic {
+			t.Skip("backend does not claim determinism")
+		}
+		a := compile(t, b, compiler.Options{Seed: 11})
+		c := compile(t, b, compiler.Options{Seed: 11})
+		if !reflect.DeepEqual(canonical(a.Metrics), canonical(c.Metrics)) {
+			t.Errorf("same-seed metrics diverge:\n%+v\nvs\n%+v", a.Metrics, c.Metrics)
+		}
+		if !reflect.DeepEqual(a.Extra, c.Extra) {
+			t.Errorf("same-seed extras diverge: %v vs %v", a.Extra, c.Extra)
+		}
+		if a.TimedOut != c.TimedOut {
+			t.Errorf("same-seed timeout flags diverge")
+		}
+	})
+
+	t.Run("cancellation", func(t *testing.T) {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		_, err := b.Compile(ctx, compiler.Target{}, circ, compiler.Options{Seed: 11})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("cancelled-context compile: err = %v, want context.Canceled", err)
+		}
+	})
+
+	t.Run("routing-2q-accounting", func(t *testing.T) {
+		if !caps.Routes {
+			t.Skip("backend does not route")
+		}
+		m := compile(t, b, compiler.Options{Seed: 11}).Metrics
+		if m.AddedCNOTs != 3*m.SwapCount {
+			t.Errorf("AddedCNOTs = %d, want 3*SwapCount = %d", m.AddedCNOTs, 3*m.SwapCount)
+		}
+		if want := circ.Num2Q() + m.AddedCNOTs; m.N2Q != want {
+			t.Errorf("N2Q = %d, want input 2Q + added CNOTs = %d (pairs dropped or duplicated)",
+				m.N2Q, want)
+		}
+	})
+}

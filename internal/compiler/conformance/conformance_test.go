@@ -1,0 +1,24 @@
+package conformance_test
+
+import (
+	"testing"
+
+	"atomique/internal/compiler"
+	"atomique/internal/compiler/conformance"
+
+	_ "atomique/internal/compiler/backends" // register every built-in backend
+)
+
+// TestRegisteredBackendsConform runs the shared contract suite against every
+// backend in the registry — currently the five built-ins, and automatically
+// any future registration.
+func TestRegisteredBackendsConform(t *testing.T) {
+	backends := compiler.List()
+	if len(backends) < 5 {
+		t.Fatalf("registry has %d backends, want at least the 5 built-ins: %v",
+			len(backends), compiler.Names())
+	}
+	for _, b := range backends {
+		t.Run(b.Name(), func(t *testing.T) { conformance.Run(t, b) })
+	}
+}

@@ -1,0 +1,61 @@
+package compiler
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// registry is the process-wide backend table. Backends self-register from
+// init functions (internal/compiler/backends); importing that package makes
+// every built-in compiler reachable through Lookup.
+var (
+	regMu    sync.RWMutex
+	registry = make(map[string]Backend)
+)
+
+// Register adds a backend under its Name. It panics on an empty name or a
+// duplicate registration — both are programmer errors that must fail at
+// process start, not at request time.
+func Register(b Backend) {
+	name := b.Name()
+	if name == "" {
+		panic("compiler: Register with empty backend name")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("compiler: backend %q registered twice", name))
+	}
+	registry[name] = b
+}
+
+// Lookup returns the backend registered under name.
+func Lookup(name string) (Backend, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	b, ok := registry[name]
+	return b, ok
+}
+
+// List returns every registered backend sorted by name.
+func List() []Backend {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]Backend, 0, len(registry))
+	for _, b := range registry {
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
+	return out
+}
+
+// Names returns the sorted registered backend names.
+func Names() []string {
+	bs := List()
+	names := make([]string, len(bs))
+	for i, b := range bs {
+		names[i] = b.Name()
+	}
+	return names
+}

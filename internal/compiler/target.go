@@ -1,0 +1,210 @@
+package compiler
+
+import (
+	"fmt"
+
+	"atomique/internal/arch"
+	"atomique/internal/hardware"
+)
+
+// Kind discriminates the device families a Target can describe.
+type Kind string
+
+// Target kinds.
+const (
+	// KindAuto (the zero value) asks the backend for its canonical device
+	// sized for the circuit being compiled.
+	KindAuto Kind = ""
+	// KindFPQA is a reconfigurable neutral-atom machine: one SLM plus
+	// movable AOD arrays (hardware.Config).
+	KindFPQA Kind = "fpqa"
+	// KindCoupling is a fixed-topology device described by a coupling-graph
+	// family (arch.Arch).
+	KindCoupling Kind = "coupling"
+)
+
+// Coupling-graph families for KindCoupling targets, matching the paper's
+// fixed-topology baselines (Fig 13).
+const (
+	FamilySuperconducting = "superconducting" // IBM 127-qubit heavy-hex
+	FamilyRectangular     = "rectangular"     // fixed atom array, grid coupling
+	FamilyTriangular      = "triangular"      // fixed atom array, triangular coupling (Geyser)
+	FamilyLongRange       = "long-range"      // Baker long-range FAA (reach 1.6 sites)
+)
+
+// Families lists the valid coupling families.
+func Families() []string {
+	return []string{FamilySuperconducting, FamilyRectangular, FamilyTriangular, FamilyLongRange}
+}
+
+// CouplingSpec describes a fixed-topology device by generator family rather
+// than explicit adjacency, which keeps it compact, validated, and
+// JSON-serializable.
+type CouplingSpec struct {
+	// Family selects the coupling generator (see Families).
+	Family string `json:"family"`
+	// Qubits sizes the device (0 = size for the circuit at compile time;
+	// ignored by FamilySuperconducting, which is the fixed 127-qubit
+	// heavy-hex).
+	Qubits int `json:"qubits,omitempty"`
+	// Params overrides the family's default physical parameters when set.
+	Params *hardware.Params `json:"params,omitempty"`
+}
+
+// Target is a validated, JSON-serializable device description that unifies
+// the repository's two machine models: reconfigurable FPQA arrays
+// (hardware.Config) and fixed-atom coupling graphs (arch.Arch). Exactly the
+// field matching Kind is set.
+type Target struct {
+	Kind     Kind             `json:"kind,omitempty"`
+	FPQA     *hardware.Config `json:"fpqa,omitempty"`
+	Coupling *CouplingSpec    `json:"coupling,omitempty"`
+}
+
+// FPQA wraps a reconfigurable-array machine description as a Target.
+func FPQA(cfg hardware.Config) Target {
+	return Target{Kind: KindFPQA, FPQA: &cfg}
+}
+
+// Coupling describes a fixed-topology device of the given family sized for
+// qubits (0 = size for the circuit at compile time).
+func Coupling(family string, qubits int) Target {
+	return Target{Kind: KindCoupling, Coupling: &CouplingSpec{Family: family, Qubits: qubits}}
+}
+
+// CouplingWithParams is Coupling with a physical-parameter override (the
+// Fig 18 sensitivity sweeps mutate baseline parameters).
+func CouplingWithParams(family string, qubits int, p hardware.Params) Target {
+	return Target{Kind: KindCoupling, Coupling: &CouplingSpec{Family: family, Qubits: qubits, Params: &p}}
+}
+
+// Validate checks structural consistency: the kind is known, exactly the
+// matching payload is present, and the payload itself is sensible.
+func (t Target) Validate() error {
+	switch t.Kind {
+	case KindAuto:
+		if t.FPQA != nil || t.Coupling != nil {
+			return fmt.Errorf("compiler: auto target must not carry a device payload")
+		}
+		return nil
+	case KindFPQA:
+		if t.FPQA == nil {
+			return fmt.Errorf("compiler: fpqa target missing machine description")
+		}
+		if t.Coupling != nil {
+			return fmt.Errorf("compiler: fpqa target must not carry a coupling spec")
+		}
+		return t.FPQA.Validate()
+	case KindCoupling:
+		if t.Coupling == nil {
+			return fmt.Errorf("compiler: coupling target missing spec")
+		}
+		if t.FPQA != nil {
+			return fmt.Errorf("compiler: coupling target must not carry an fpqa machine")
+		}
+		if t.Coupling.Qubits < 0 {
+			return fmt.Errorf("compiler: coupling qubit count %d negative", t.Coupling.Qubits)
+		}
+		for _, f := range Families() {
+			if t.Coupling.Family == f {
+				return nil
+			}
+		}
+		return fmt.Errorf("compiler: unknown coupling family %q (valid: %v)", t.Coupling.Family, Families())
+	default:
+		return fmt.Errorf("compiler: unknown target kind %q", t.Kind)
+	}
+}
+
+// Hardware materialises the target as an FPQA machine. nQubits sizes the
+// default machine for auto targets.
+func (t Target) Hardware(nQubits int) (hardware.Config, error) {
+	switch t.Kind {
+	case KindAuto:
+		return DefaultFPQAConfig(nQubits), nil
+	case KindFPQA:
+		if err := t.Validate(); err != nil {
+			return hardware.Config{}, err
+		}
+		return *t.FPQA, nil
+	default:
+		return hardware.Config{}, fmt.Errorf("compiler: %s target is not an FPQA machine", t.Kind)
+	}
+}
+
+// Arch materialises the target as a fixed-topology architecture. nQubits
+// sizes grid families when the spec leaves Qubits at 0 (and for auto
+// targets); fallbackFamily is the family auto targets resolve to.
+func (t Target) Arch(nQubits int, fallbackFamily string) (arch.Arch, error) {
+	spec := CouplingSpec{Family: fallbackFamily}
+	switch t.Kind {
+	case KindAuto:
+	case KindCoupling:
+		if err := t.Validate(); err != nil {
+			return arch.Arch{}, err
+		}
+		spec = *t.Coupling
+	default:
+		return arch.Arch{}, fmt.Errorf("compiler: %s target is not a fixed-topology device", t.Kind)
+	}
+	n := spec.Qubits
+	if n <= 0 {
+		n = nQubits
+	}
+	var a arch.Arch
+	switch spec.Family {
+	case FamilySuperconducting:
+		a = arch.Superconducting()
+	case FamilyRectangular:
+		a = arch.FAARectangular(n)
+	case FamilyTriangular:
+		a = arch.FAATriangular(n)
+	case FamilyLongRange:
+		a = arch.BakerLongRange(n)
+	default:
+		return arch.Arch{}, fmt.Errorf("compiler: unknown coupling family %q (valid: %v)", spec.Family, Families())
+	}
+	if spec.Params != nil {
+		a.Params = *spec.Params
+	}
+	return a, nil
+}
+
+// String renders a short label for logs and errors.
+func (t Target) String() string {
+	switch t.Kind {
+	case KindAuto:
+		return "auto"
+	case KindFPQA:
+		if t.FPQA == nil {
+			return "fpqa(?)"
+		}
+		return fmt.Sprintf("fpqa(%dx%d SLM + %d AODs)", t.FPQA.SLM.Rows, t.FPQA.SLM.Cols, len(t.FPQA.AODs))
+	case KindCoupling:
+		if t.Coupling == nil {
+			return "coupling(?)"
+		}
+		if t.Coupling.Qubits > 0 {
+			return fmt.Sprintf("coupling(%s, %dQ)", t.Coupling.Family, t.Coupling.Qubits)
+		}
+		return fmt.Sprintf("coupling(%s)", t.Coupling.Family)
+	default:
+		return string(t.Kind)
+	}
+}
+
+// DefaultFPQAConfig returns the paper's default machine (10x10 SLM + two
+// 10x10 AODs), grown to square arrays just large enough when the circuit
+// exceeds the default 300-site capacity — the sizing rule the experiment
+// drivers use throughout the evaluation.
+func DefaultFPQAConfig(nQubits int) hardware.Config {
+	cfg := hardware.DefaultConfig()
+	if nQubits > cfg.Capacity() {
+		side := cfg.SLM.Rows
+		for 3*side*side < nQubits {
+			side++
+		}
+		cfg = hardware.SquareConfig(side, 2)
+	}
+	return cfg
+}

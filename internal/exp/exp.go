@@ -6,15 +6,17 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
-	"atomique/internal/arch"
 	"atomique/internal/circuit"
-	"atomique/internal/core"
+	"atomique/internal/compiler"
 	"atomique/internal/hardware"
 	"atomique/internal/metrics"
 	"atomique/internal/report"
+
+	_ "atomique/internal/compiler/backends" // register the built-in backends
 )
 
 // Experiment is a runnable table/figure reproduction.
@@ -59,21 +61,21 @@ func ByID(id string) (Experiment, bool) {
 	return Experiment{}, false
 }
 
-// CompileFunc is the signature of an Atomique compilation backend: it turns
+// CompileFunc is the signature of an Atomique compilation path: it turns
 // (machine, circuit, options) into a metrics record.
-type CompileFunc func(cfg hardware.Config, c *circuit.Circuit, opts core.Options) (metrics.Compiled, error)
+type CompileFunc func(cfg hardware.Config, c *circuit.Circuit, opts compiler.Options) (metrics.Compiled, error)
 
-// defaultCompiler compiles directly through core.Compile.
-func defaultCompiler(cfg hardware.Config, c *circuit.Circuit, opts core.Options) (metrics.Compiled, error) {
-	res, err := core.Compile(cfg, c, opts)
+// defaultCompiler compiles through the registered "atomique" backend.
+func defaultCompiler(cfg hardware.Config, c *circuit.Circuit, opts compiler.Options) (metrics.Compiled, error) {
+	res, err := mustBackend("atomique").Compile(context.Background(), compiler.FPQA(cfg), c, opts)
 	if err != nil {
 		return metrics.Compiled{}, err
 	}
 	return res.Metrics, nil
 }
 
-// atomiqueCompile is the backend every driver funnels Atomique compilations
-// through. The default compiles directly; SetCompiler swaps it.
+// atomiqueCompile is the path every driver funnels Atomique compilations
+// through. The default goes through the registry; SetCompiler swaps it.
 var atomiqueCompile CompileFunc = defaultCompiler
 
 // SetCompiler reroutes every Atomique compilation the drivers perform, e.g.
@@ -88,9 +90,29 @@ func SetCompiler(fn CompileFunc) {
 	atomiqueCompile = fn
 }
 
-// mustAtomique compiles with Atomique on the default machine, panicking on
-// configuration errors (experiment inputs are fixed and known-valid).
-func mustAtomique(cfg hardware.Config, c *circuit.Circuit, opts core.Options) metrics.Compiled {
+// mustBackend resolves a registry backend; experiment inputs are fixed, so a
+// missing backend is a programming error worth a panic.
+func mustBackend(name string) compiler.Backend {
+	b, ok := compiler.Lookup(name)
+	if !ok {
+		panic(fmt.Sprintf("exp: backend %q not registered", name))
+	}
+	return b
+}
+
+// mustCompile runs one registry backend, panicking on configuration errors
+// (experiment inputs are fixed and known-valid).
+func mustCompile(name string, tgt compiler.Target, c *circuit.Circuit, opts compiler.Options) *compiler.Result {
+	res, err := mustBackend(name).Compile(context.Background(), tgt, c, opts)
+	if err != nil {
+		panic(fmt.Sprintf("exp: %s compile failed: %v", name, err))
+	}
+	return res
+}
+
+// mustAtomique compiles with Atomique on the given machine through the
+// swappable atomiqueCompile path.
+func mustAtomique(cfg hardware.Config, c *circuit.Circuit, opts compiler.Options) metrics.Compiled {
 	m, err := atomiqueCompile(cfg, c, opts)
 	if err != nil {
 		panic(fmt.Sprintf("exp: atomique compile failed: %v", err))
@@ -98,44 +120,46 @@ func mustAtomique(cfg hardware.Config, c *circuit.Circuit, opts core.Options) me
 	return m
 }
 
-// mustArch compiles on a fixed baseline architecture.
-func mustArch(a arch.Arch, c *circuit.Circuit, seed int64) metrics.Compiled {
-	m, err := arch.Compile(a, c, seed)
-	if err != nil {
-		panic(fmt.Sprintf("exp: %s compile failed: %v", a.Name, err))
-	}
-	return m
+// mustSabre compiles on a fixed baseline topology via the "sabre" backend.
+func mustSabre(tgt compiler.Target, c *circuit.Circuit, seed int64) metrics.Compiled {
+	return mustCompile("sabre", tgt, c, compiler.Options{Seed: seed}).Metrics
 }
 
-// archNames lists the Fig 13 baseline order.
+// archNames lists the Fig 13 baseline order (columns of the comparison
+// tables).
 var archNames = []string{
 	"Superconducting", "Baker-Long-Range", "FAA-Rectangular", "FAA-Triangular", "Atomique",
 }
 
-// compileAll runs the four baselines plus Atomique on a benchmark and
-// returns metrics keyed by architecture name.
+// baselineFamilies maps each fixed-topology column to the sabre backend's
+// coupling family.
+var baselineFamilies = map[string]string{
+	"Superconducting":  compiler.FamilySuperconducting,
+	"Baker-Long-Range": compiler.FamilyLongRange,
+	"FAA-Rectangular":  compiler.FamilyRectangular,
+	"FAA-Triangular":   compiler.FamilyTriangular,
+}
+
+// compileAll runs the comparison set on a benchmark — every fixed-topology
+// family through the "sabre" registry backend plus Atomique — and returns
+// metrics keyed by architecture name.
 func compileAll(c *circuit.Circuit, seed int64) map[string]metrics.Compiled {
-	out := make(map[string]metrics.Compiled, 5)
-	for _, a := range arch.Baselines(c.N) {
-		out[a.Name] = mustArch(a, c, seed)
+	out := make(map[string]metrics.Compiled, len(archNames))
+	for _, an := range archNames {
+		family, ok := baselineFamilies[an]
+		if !ok {
+			continue // Atomique handled below
+		}
+		out[an] = mustSabre(compiler.Coupling(family, 0), c, seed)
 	}
-	cfg := configFor(c.N)
-	out["Atomique"] = mustAtomique(cfg, c, core.Options{Seed: seed})
+	out["Atomique"] = mustAtomique(configFor(c.N), c, compiler.Options{Seed: seed})
 	return out
 }
 
 // configFor returns the paper's default machine, grown just enough when a
 // benchmark exceeds the default 300-site capacity.
 func configFor(n int) hardware.Config {
-	cfg := hardware.DefaultConfig()
-	if n > cfg.Capacity() {
-		side := cfg.SLM.Rows
-		for 3*side*side < n {
-			side++
-		}
-		cfg = hardware.SquareConfig(side, 2)
-	}
-	return cfg
+	return compiler.DefaultFPQAConfig(n)
 }
 
 // geoMeanColumn extracts a metric across rows and appends its geometric mean.

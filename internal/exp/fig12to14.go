@@ -5,15 +5,14 @@ import (
 	"time"
 
 	"atomique/internal/bench"
-	"atomique/internal/core"
+	"atomique/internal/compiler"
 	"atomique/internal/hardware"
 	"atomique/internal/move"
 	"atomique/internal/report"
-	"atomique/internal/solverref"
 )
 
 // coreOptions returns the default Atomique options with a seed.
-func coreOptions(seed int64) core.Options { return core.Options{Seed: seed} }
+func coreOptions(seed int64) compiler.Options { return compiler.Options{Seed: seed} }
 
 // Fig12 samples the constant-jerk movement profile: jerk, acceleration,
 // velocity, and distance versus time for a 15 um move over 300 us.
@@ -107,21 +106,17 @@ func Fig14() []*report.Table {
 		AODs:   []hardware.ArraySpec{{Rows: 16, Cols: 16}},
 		Params: hardware.NeutralAtom(),
 	}
+	// The solver baselines run through the unified registry: exact mode is
+	// the Exact option, the greedy relaxation the default.
+	tgt := compiler.FPQA(cfg)
 	var fids [3][]float64
 	for i, b := range bench.Fig14Suite() {
-		solver, err := solverref.Compile(b.Circ, solverref.Options{
-			Mode: solverref.Solver, Budget: Fig14Budget, Seed: int64(i)})
-		if err != nil {
-			panic(err)
-		}
-		iterp, err := solverref.Compile(b.Circ, solverref.Options{
-			Mode: solverref.IterP, Seed: int64(i)})
-		if err != nil {
-			panic(err)
-		}
+		solver := mustCompile("solverref", tgt, b.Circ, compiler.Options{
+			Seed: int64(i), Exact: true, BudgetSeconds: Fig14Budget.Seconds()})
+		iterp := mustCompile("solverref", tgt, b.Circ, compiler.Options{Seed: int64(i)})
 		at := mustAtomique(cfg, b.Circ, coreOptions(int64(i)))
 
-		fmtFid := func(r solverref.Result) string {
+		fmtFid := func(r *compiler.Result) string {
 			if r.TimedOut {
 				return "timeout"
 			}

@@ -3,9 +3,9 @@ package exp
 import (
 	"fmt"
 
-	"atomique/internal/arch"
 	"atomique/internal/bench"
 	"atomique/internal/circuit"
+	"atomique/internal/compiler"
 	"atomique/internal/report"
 )
 
@@ -13,8 +13,8 @@ import (
 // gate counts per architecture and Atomique's fidelity improvement over each
 // FAA baseline.
 func sweepCompile(c *circuit.Circuit, seed int64) (n2q map[string]int, improv map[string]float64) {
-	rect := mustArch(arch.FAARectangular(c.N), c, seed)
-	tri := mustArch(arch.FAATriangular(c.N), c, seed)
+	rect := mustSabre(compiler.Coupling(compiler.FamilyRectangular, 0), c, seed)
+	tri := mustSabre(compiler.Coupling(compiler.FamilyTriangular, 0), c, seed)
 	at := mustAtomique(configFor(c.N), c, coreOptions(seed))
 	n2q = map[string]int{
 		"FAA-Rectangular": rect.N2Q,

@@ -3,14 +3,12 @@ package exp
 import (
 	"fmt"
 
-	"atomique/internal/arch"
 	"atomique/internal/bench"
 	"atomique/internal/circuit"
-	"atomique/internal/core"
+	"atomique/internal/compiler"
 	"atomique/internal/fidelity"
 	"atomique/internal/hardware"
 	"atomique/internal/metrics"
-	"atomique/internal/qpilot"
 	"atomique/internal/report"
 )
 
@@ -31,12 +29,11 @@ func fig18Row(t *report.Table, label string, mutate func(*hardware.Params)) fide
 		cfg := hardware.DefaultConfig()
 		mutate(&cfg.Params)
 		at := mustAtomique(cfg, b.Circ, coreOptions(1))
-		rectA := arch.FAARectangular(b.Circ.N)
-		mutate(&rectA.Params)
-		triA := arch.FAATriangular(b.Circ.N)
-		mutate(&triA.Params)
-		rect := mustArch(rectA, b.Circ, 1)
-		tri := mustArch(triA, b.Circ, 1)
+		// Coupling targets carry the mutated parameters to the baselines.
+		faaParams := hardware.NeutralAtom()
+		mutate(&faaParams)
+		rect := mustSabre(compiler.CouplingWithParams(compiler.FamilyRectangular, 0, faaParams), b.Circ, 1)
+		tri := mustSabre(compiler.CouplingWithParams(compiler.FamilyTriangular, 0, faaParams), b.Circ, 1)
 		t.AddRow(label, b.Name,
 			fmt.Sprintf("%.3f", rect.FidelityTotal()),
 			fmt.Sprintf("%.3f", tri.FidelityTotal()),
@@ -146,7 +143,7 @@ func Fig19() []*report.Table {
 	var fa, fq []float64
 	for i, b := range suite {
 		at := mustAtomique(configFor(b.Circ.N), b.Circ, coreOptions(int64(i)))
-		qp := qpilot.Compile(b.Circ, int64(i))
+		qp := mustCompile("qpilot", compiler.Target{}, b.Circ, coreOptions(int64(i))).Metrics
 		t.AddRow(b.Name, at.Depth2Q, qp.Depth2Q, at.N2Q, qp.N2Q,
 			fmt.Sprintf("%.3f", at.FidelityTotal()),
 			fmt.Sprintf("%.3f", qp.FidelityTotal()))
@@ -225,16 +222,16 @@ func Fig21() []*report.Table {
 	}
 	configs := []struct {
 		name string
-		opts core.Options
+		opts compiler.Options
 	}{
 		{"Baseline (dense + random + serial)",
-			core.Options{DenseMapper: true, RandomAtomMapper: true, SerialRouter: true}},
+			compiler.Options{DenseMapper: true, RandomAtomMapper: true, SerialRouter: true}},
 		{"+ qubit-array mapper (MAX k-cut)",
-			core.Options{RandomAtomMapper: true, SerialRouter: true}},
+			compiler.Options{RandomAtomMapper: true, SerialRouter: true}},
 		{"+ qubit-atom mapper (load-balance/aligned)",
-			core.Options{SerialRouter: true}},
+			compiler.Options{SerialRouter: true}},
 		{"+ high-parallelism router (full Atomique)",
-			core.Options{}},
+			compiler.Options{}},
 	}
 	var circuits []*circuit.Circuit
 	for seed := int64(1); seed <= 3; seed++ {

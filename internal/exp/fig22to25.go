@@ -4,7 +4,7 @@ import (
 	"fmt"
 
 	"atomique/internal/bench"
-	"atomique/internal/core"
+	"atomique/internal/compiler"
 	"atomique/internal/hardware"
 	"atomique/internal/report"
 )
@@ -29,12 +29,12 @@ func Fig22() []*report.Table {
 	}
 	configs := []struct {
 		name string
-		opts core.Options
+		opts compiler.Options
 	}{
-		{"All constraints", core.Options{}},
-		{"Relax 1: individual addressing", core.Options{RelaxAddressing: true}},
-		{"Relax 2: allow order violation", core.Options{RelaxOrder: true}},
-		{"Relax 3: allow row/col overlap", core.Options{RelaxOverlap: true}},
+		{"All constraints", compiler.Options{}},
+		{"Relax 1: individual addressing", compiler.Options{RelaxAddressing: true}},
+		{"Relax 2: allow order violation", compiler.Options{RelaxOrder: true}},
+		{"Relax 3: allow row/col overlap", compiler.Options{RelaxOverlap: true}},
 	}
 	for _, cc := range configs {
 		for _, b := range fig22Benchmarks() {

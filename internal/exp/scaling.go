@@ -5,9 +5,9 @@ import (
 	"time"
 
 	"atomique/internal/bench"
+	"atomique/internal/compiler"
 	"atomique/internal/core"
 	"atomique/internal/report"
-	"atomique/internal/solverref"
 )
 
 // Scaling measures compilation time versus circuit size for Atomique and
@@ -36,10 +36,7 @@ func Scaling() []*report.Table {
 		at := mustAtomique(cfg, c, coreOptions(1))
 		atMS := float64(time.Since(start).Microseconds()) / 1000
 
-		iterp, err := solverref.Compile(c, solverref.Options{Mode: solverref.IterP, Seed: 1})
-		if err != nil {
-			panic(err)
-		}
+		iterp := mustCompile("solverref", compiler.Target{}, c, compiler.Options{Seed: 1})
 		t.AddRow(n, c.Num2Q(),
 			fmt.Sprintf("%.2f", atMS),
 			fmt.Sprintf("%.2f", float64(iterp.Metrics.CompileTime.Microseconds())/1000),

@@ -1,14 +1,15 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"atomique/internal/bench"
+	"atomique/internal/compiler"
 	"atomique/internal/geyser"
 	"atomique/internal/hardware"
 	"atomique/internal/report"
-	"atomique/internal/solverref"
 )
 
 // Table1 dumps the hardware parameters (Table I).
@@ -59,8 +60,8 @@ func Table2() []*report.Table {
 	}
 	for _, b := range bench.Table2Suite() {
 		s := b.Circ.ComputeStats()
-		solver := probeSolver(b, solverref.Solver)
-		iterp := probeSolver(b, solverref.IterP)
+		solver := probeSolver(b, true)
+		iterp := probeSolver(b, false)
 		t.AddRow(b.Name, b.Type, s.Qubits, s.Num2Q, s.Num1Q,
 			fmt.Sprintf("%.1f", s.TwoQPerQ), fmt.Sprintf("%.1f", s.DegreePerQ),
 			solver, iterp)
@@ -68,13 +69,12 @@ func Table2() []*report.Table {
 	return []*report.Table{t}
 }
 
-func probeSolver(b bench.Benchmark, mode solverref.Mode) string {
+func probeSolver(b bench.Benchmark, exact bool) string {
 	if b.Circ.N > 256 {
 		return "timeout"
 	}
-	res, err := solverref.Compile(b.Circ, solverref.Options{
-		Mode: mode, Budget: Table2Budget, Seed: 1,
-	})
+	res, err := mustBackend("solverref").Compile(context.Background(), compiler.Target{}, b.Circ,
+		compiler.Options{Seed: 1, Exact: exact, BudgetSeconds: Table2Budget.Seconds()})
 	if err != nil || res.TimedOut {
 		return "timeout"
 	}
@@ -99,13 +99,11 @@ func Table3() []*report.Table {
 	}
 	cfg := hardware.DefaultConfig()
 	for _, b := range suite {
-		g, err := geyser.Compile(b.Circ, 1)
-		if err != nil {
-			panic(err)
-		}
+		g := mustCompile("geyser", compiler.Target{}, b.Circ, coreOptions(1))
+		pulses := int(g.Extra["pulses"])
 		m := mustAtomique(cfg, b.Circ, coreOptions(1))
 		ap := geyser.AtomiquePulses(m.N2Q)
-		t.AddRow(b.Name, g.Pulses, ap, fmt.Sprintf("%.1fx", float64(g.Pulses)/float64(ap)))
+		t.AddRow(b.Name, pulses, ap, fmt.Sprintf("%.1fx", float64(pulses)/float64(ap)))
 	}
 	return []*report.Table{t}
 }

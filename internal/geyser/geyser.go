@@ -43,21 +43,29 @@ type Result struct {
 	// Routed2Q is the two-qubit gate count after FAA-triangular routing
 	// (block synthesis starts from the routed circuit).
 	Routed2Q int
+	// SwapCount is the number of SWAPs routing inserted (each three CX).
+	SwapCount int
 }
 
 // Compile routes circ onto the triangular FAA and blocks the physical
 // circuit into three-qubit pulses.
 func Compile(circ *circuit.Circuit, seed int64) (Result, error) {
-	a := arch.FAATriangular(circ.N)
+	return CompileOn(arch.FAATriangular(circ.N), circ, seed)
+}
+
+// CompileOn is Compile against an explicit fixed-topology device; the
+// unified-backend adapter uses it to honour coupling targets.
+func CompileOn(a arch.Arch, circ *circuit.Circuit, seed int64) (Result, error) {
 	if circ.N > a.Coupling.N {
 		return Result{}, errTooLarge{circ.N, a.Coupling.N}
 	}
 	res := sabre.Route(circ, a.Coupling, sabre.Options{Seed: seed})
 	blocks := BlockCountOn(res.Routed, a.Coupling)
 	return Result{
-		Blocks:   blocks,
-		Pulses:   blocks * PulsesPerBlock,
-		Routed2Q: res.Routed.Num2Q(),
+		Blocks:    blocks,
+		Pulses:    blocks * PulsesPerBlock,
+		Routed2Q:  res.Routed.Num2Q(),
+		SwapCount: res.SwapCount,
 	}, nil
 }
 

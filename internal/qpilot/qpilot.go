@@ -28,7 +28,12 @@ const GatesPerTerm = 4
 // Compile schedules circ's two-qubit interaction terms through flying
 // ancillas and returns evaluation metrics comparable with core.Compile.
 func Compile(circ *circuit.Circuit, seed int64) metrics.Compiled {
-	params := hardware.NeutralAtom()
+	return CompileOn(hardware.NeutralAtom(), circ, seed)
+}
+
+// CompileOn is Compile with explicit physical parameters; the
+// unified-backend adapter uses it to honour FPQA-target parameter overrides.
+func CompileOn(params hardware.Params, circ *circuit.Circuit, _ int64) metrics.Compiled {
 	terms := circ.Num2Q()
 	n := circ.N
 	ancillas := (n + 1) / 2

@@ -1,16 +1,19 @@
 // Package regress is the compiler's golden-snapshot regression harness: it
 // compiles a fixed corpus — every OpenQASM file under internal/qasm/testdata
-// plus three generated Table II-scale benchmarks — through the full pass
-// pipeline and diffs the canonical result envelope (report.Envelope with
-// wall times zeroed) against checked-in goldens. Any pass refactor that
-// changes compile output, however subtly, shows up as a reviewable JSON
-// diff. Refresh the goldens after an intentional change with
+// plus three generated Table II-scale benchmarks — through the registered
+// compiler backends and diffs the canonical result envelope (report.Envelope
+// with wall times zeroed) against checked-in goldens. The full corpus runs
+// on the default "atomique" backend; the QASM files additionally run on the
+// "qpilot" baseline so baseline output is snapshot-protected too. Any
+// refactor that changes compile output, however subtly, shows up as a
+// reviewable JSON diff. Refresh the goldens after an intentional change with
 //
 //	go test ./internal/regress -run TestGolden -update
 package regress
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"os"
@@ -21,10 +24,11 @@ import (
 
 	"atomique/internal/bench"
 	"atomique/internal/circuit"
-	"atomique/internal/core"
-	"atomique/internal/hardware"
+	"atomique/internal/compiler"
 	"atomique/internal/qasm"
 	"atomique/internal/report"
+
+	_ "atomique/internal/compiler/backends" // register the built-in backends
 )
 
 var update = flag.Bool("update", false, "rewrite golden files with current compile output")
@@ -36,6 +40,7 @@ const goldenSeed = 7
 type corpusEntry struct {
 	name string
 	circ *circuit.Circuit
+	qasm bool // parsed from the qasm testdata (also snapshotted on qpilot)
 }
 
 // corpus returns the regression inputs: the qasm testdata files (parsed
@@ -64,7 +69,7 @@ func corpus(t *testing.T) []corpusEntry {
 			t.Fatalf("parse %s: %v", f, err)
 		}
 		name := strings.TrimSuffix(filepath.Base(f), ".qasm")
-		entries = append(entries, corpusEntry{name: "qasm-" + name, circ: c})
+		entries = append(entries, corpusEntry{name: "qasm-" + name, circ: c, qasm: true})
 	}
 	entries = append(entries,
 		corpusEntry{name: "gen-qaoa-regu5-40", circ: bench.QAOARegular(40, 5, 15)},
@@ -74,44 +79,72 @@ func corpus(t *testing.T) []corpusEntry {
 	return entries
 }
 
-// compileCanonical runs one corpus circuit through the full pipeline and
-// renders its canonical envelope as indented JSON.
-func compileCanonical(t *testing.T, c *circuit.Circuit) []byte {
+// compileCanonical runs one corpus circuit through a registered backend
+// (auto target: the paper-default machine) and renders its canonical
+// envelope as indented JSON.
+func compileCanonical(t *testing.T, backend string, c *circuit.Circuit) []byte {
 	t.Helper()
-	res, err := core.Compile(hardware.DefaultConfig(), c, core.Options{Seed: goldenSeed})
+	b, ok := compiler.Lookup(backend)
+	if !ok {
+		t.Fatalf("backend %q not registered", backend)
+	}
+	res, err := b.Compile(context.Background(), compiler.Target{}, c, compiler.Options{Seed: goldenSeed})
 	if err != nil {
 		t.Fatal(err)
 	}
-	env := report.NewEnvelope(c.Fingerprint(), res.Metrics).Canonical()
-	js, err := json.MarshalIndent(env, "", "  ")
+	env := report.NewEnvelope(c.Fingerprint(), res.Metrics)
+	env.Backend = res.Backend
+	env.Extra = res.Extra
+	env.TimedOut = res.TimedOut
+	js, err := json.MarshalIndent(env.Canonical(), "", "  ")
 	if err != nil {
 		t.Fatal(err)
 	}
 	return append(js, '\n')
 }
 
+// checkGolden diffs (or, with -update, rewrites) one golden file.
+func checkGolden(t *testing.T, path string, got []byte) {
+	t.Helper()
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("compile output diverged from golden %s.\ngot:\n%s\nwant:\n%s\n(if intentional, refresh with -update)",
+			path, got, want)
+	}
+}
+
 func TestGolden(t *testing.T) {
 	for _, e := range corpus(t) {
 		t.Run(e.name, func(t *testing.T) {
-			got := compileCanonical(t, e.circ)
-			path := filepath.Join("testdata", e.name+".golden.json")
-			if *update {
-				if err := os.MkdirAll("testdata", 0o755); err != nil {
-					t.Fatal(err)
-				}
-				if err := os.WriteFile(path, got, 0o644); err != nil {
-					t.Fatal(err)
-				}
-				return
-			}
-			want, err := os.ReadFile(path)
-			if err != nil {
-				t.Fatalf("missing golden (run with -update to create): %v", err)
-			}
-			if !bytes.Equal(got, want) {
-				t.Errorf("compile output diverged from golden %s.\ngot:\n%s\nwant:\n%s\n(if intentional, refresh with -update)",
-					path, got, want)
-			}
+			got := compileCanonical(t, "atomique", e.circ)
+			checkGolden(t, filepath.Join("testdata", e.name+".golden.json"), got)
+		})
+	}
+}
+
+// TestGoldenQpilot snapshots a non-core backend on the QASM corpus, so
+// baseline refactors (the flying-ancilla accounting, the shared fidelity
+// model) are regression-protected like the main pipeline.
+func TestGoldenQpilot(t *testing.T) {
+	for _, e := range corpus(t) {
+		if !e.qasm {
+			continue
+		}
+		t.Run(e.name, func(t *testing.T) {
+			got := compileCanonical(t, "qpilot", e.circ)
+			checkGolden(t, filepath.Join("testdata", "qpilot-"+e.name+".golden.json"), got)
 		})
 	}
 }
@@ -122,9 +155,11 @@ func TestGolden(t *testing.T) {
 func TestGoldenStableAcrossRuns(t *testing.T) {
 	entries := corpus(t)
 	e := entries[0]
-	a := compileCanonical(t, e.circ)
-	b := compileCanonical(t, e.circ)
-	if !bytes.Equal(a, b) {
-		t.Fatalf("canonical envelope unstable across runs:\n%s\nvs\n%s", a, b)
+	for _, backend := range []string{"atomique", "qpilot"} {
+		a := compileCanonical(t, backend, e.circ)
+		b := compileCanonical(t, backend, e.circ)
+		if !bytes.Equal(a, b) {
+			t.Fatalf("%s: canonical envelope unstable across runs:\n%s\nvs\n%s", backend, a, b)
+		}
 	}
 }

@@ -12,10 +12,19 @@ import (
 // carries the circuit's content hash rather than a benchmark name, so two
 // requests that resolve to the same circuit share one envelope byte-for-byte.
 type Envelope struct {
+	// Backend is the registry name of the compiler backend that produced
+	// the result ("atomique", "qpilot", ...), when compiled through the
+	// unified backend API.
+	Backend string `json:"backend,omitempty"`
 	// CircuitHash is the compiled circuit's content fingerprint
 	// (circuit.Fingerprint); clients can use it to correlate results.
 	CircuitHash string           `json:"circuitHash"`
 	Metrics     metrics.Compiled `json:"metrics"`
+	// TimedOut reports that an anytime/solver backend exhausted its budget.
+	TimedOut bool `json:"timedOut,omitempty"`
+	// Extra carries backend-specific scalar outputs (e.g. Geyser blocks and
+	// pulses) with no slot in the common metrics record.
+	Extra map[string]float64 `json:"extra,omitempty"`
 	// FidelityTotal is the product of all fidelity factors.
 	FidelityTotal float64 `json:"fidelityTotal"`
 	// ErrorBreakdown maps every fidelity factor (including Transfer, which

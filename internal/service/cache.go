@@ -9,11 +9,14 @@ import (
 
 // outcome is a finished compilation: the metrics record, the pre-marshalled
 // result envelope (so repeated requests return byte-identical JSON), and the
-// compile error if any.
+// compile error if any. timedOut marks a budget-bounded solver run that
+// exhausted its wall-clock budget; such outcomes are returned but never
+// cached (the timeout depends on machine load, not on the inputs).
 type outcome struct {
-	metrics metrics.Compiled
-	json    []byte
-	err     error
+	metrics  metrics.Compiled
+	json     []byte
+	err      error
+	timedOut bool
 }
 
 // entry is one cache slot. done is closed when the owning computation

@@ -9,6 +9,7 @@ import (
 	"sync"
 
 	"atomique/internal/bench"
+	"atomique/internal/compiler"
 )
 
 // maxBodyBytes bounds request bodies (inline QASM included).
@@ -47,6 +48,7 @@ type benchmarkInfo struct {
 //	GET    /v1/jobs/{id}         job status and result
 //	DELETE /v1/jobs/{id}         cancel a queued/running job
 //	POST   /v1/jobs/{id}/cancel  same, for clients without DELETE
+//	GET    /v1/backends          registered compiler backends + capabilities
 //	GET    /v1/benchmarks        named benchmark registry
 //	GET    /v1/healthz           liveness probe
 //	GET    /v1/stats             queue/worker/cache counters
@@ -57,6 +59,7 @@ func (e *Engine) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", e.handleJobGet)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", e.handleJobCancel)
 	mux.HandleFunc("POST /v1/jobs/{id}/cancel", e.handleJobCancel)
+	mux.HandleFunc("GET /v1/backends", e.handleBackends)
 	mux.HandleFunc("GET /v1/benchmarks", e.handleBenchmarks)
 	mux.HandleFunc("GET /v1/healthz", e.handleHealthz)
 	mux.HandleFunc("GET /v1/stats", e.handleStats)
@@ -232,6 +235,28 @@ var benchmarkInfos = sync.OnceValue(func() []benchmarkInfo {
 
 func (e *Engine) handleBenchmarks(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, benchmarkInfos())
+}
+
+// backendInfo is one GET /v1/backends entry.
+type backendInfo struct {
+	Name         string                `json:"name"`
+	Default      bool                  `json:"default,omitempty"`
+	Capabilities compiler.Capabilities `json:"capabilities"`
+}
+
+// handleBackends lists the registered compiler backends; clients pick one
+// via the request "backend" field.
+func (e *Engine) handleBackends(w http.ResponseWriter, _ *http.Request) {
+	backends := compiler.List()
+	infos := make([]backendInfo, len(backends))
+	for i, b := range backends {
+		infos[i] = backendInfo{
+			Name:         b.Name(),
+			Default:      b.Name() == DefaultBackend,
+			Capabilities: b.Capabilities(),
+		}
+	}
+	writeJSON(w, http.StatusOK, infos)
 }
 
 func (e *Engine) handleHealthz(w http.ResponseWriter, _ *http.Request) {

@@ -342,6 +342,105 @@ func TestHTTPInfoEndpoints(t *testing.T) {
 	}
 }
 
+// TestHTTPBackendsEndpoint covers GET /v1/backends: every built-in backend
+// is listed with capabilities, and exactly one is marked default.
+func TestHTTPBackendsEndpoint(t *testing.T) {
+	_, srv := newTestServer(t, Config{Workers: 1})
+
+	var infos []backendInfo
+	if resp := getJSON(t, srv.URL+"/v1/backends", &infos); resp.StatusCode != http.StatusOK {
+		t.Fatalf("backends status = %d", resp.StatusCode)
+	}
+	want := map[string]bool{"atomique": false, "geyser": false, "qpilot": false, "sabre": false, "solverref": false}
+	defaults := 0
+	for _, b := range infos {
+		if _, ok := want[b.Name]; ok {
+			want[b.Name] = true
+		}
+		if b.Default {
+			defaults++
+			if b.Name != DefaultBackend {
+				t.Errorf("default backend = %q, want %q", b.Name, DefaultBackend)
+			}
+		}
+		if b.Capabilities.Description == "" {
+			t.Errorf("backend %q has no description", b.Name)
+		}
+		if !b.Capabilities.FPQA && !b.Capabilities.Coupling {
+			t.Errorf("backend %q advertises no target kind", b.Name)
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("backend %q missing from /v1/backends", name)
+		}
+	}
+	if defaults != 1 {
+		t.Errorf("%d backends marked default, want 1", defaults)
+	}
+}
+
+// TestHTTPBackendSelection exercises the backend request field end to end:
+// a known non-default backend compiles and stamps the envelope, an unknown
+// name is a structured 400 (not a 500), and mismatched device options 400.
+func TestHTTPBackendSelection(t *testing.T) {
+	_, srv := newTestServer(t, Config{Workers: 2})
+
+	resp, body := postJSON(t, srv.URL+"/v1/compile", Request{QASM: ghzQASM, Backend: "qpilot", Seed: 3})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("qpilot status = %d, body %s", resp.StatusCode, body)
+	}
+	var j Job
+	if err := json.Unmarshal(body, &j); err != nil {
+		t.Fatal(err)
+	}
+	if j.Backend != "qpilot" {
+		t.Errorf("job backend = %q, want qpilot", j.Backend)
+	}
+	var env struct {
+		Backend string `json:"backend"`
+		Metrics struct {
+			Arch string `json:"arch"`
+		} `json:"metrics"`
+	}
+	if err := json.Unmarshal(j.Result, &env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Backend != "qpilot" || env.Metrics.Arch != "Q-Pilot" {
+		t.Errorf("envelope = %+v, want qpilot/Q-Pilot", env)
+	}
+
+	// The sabre backend with an explicit family works through the registry.
+	resp, body = postJSON(t, srv.URL+"/v1/compile", Request{QASM: ghzQASM, Backend: "sabre", Family: "triangular"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sabre status = %d, body %s", resp.StatusCode, body)
+	}
+
+	// Unknown backend: structured 400 naming the discovery endpoint.
+	resp, body = postJSON(t, srv.URL+"/v1/compile", Request{QASM: ghzQASM, Backend: "zap"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown backend status = %d, want 400 (body %s)", resp.StatusCode, body)
+	}
+	var eb errorBody
+	if err := json.Unmarshal(body, &eb); err != nil {
+		t.Fatalf("unknown-backend body not structured JSON: %s", body)
+	}
+	if !strings.Contains(eb.Error, "zap") || !strings.Contains(eb.Error, "/v1/backends") {
+		t.Errorf("error = %q, want backend name and discovery hint", eb.Error)
+	}
+
+	// Device options that do not match the backend's target kind: 400.
+	if resp, _ := postJSON(t, srv.URL+"/v1/compile", Request{QASM: ghzQASM, Backend: "sabre", SLM: 8}); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("sabre+slm status = %d, want 400", resp.StatusCode)
+	}
+	if resp, _ := postJSON(t, srv.URL+"/v1/compile", Request{QASM: ghzQASM, Backend: "atomique", Family: "triangular"}); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("atomique+family status = %d, want 400", resp.StatusCode)
+	}
+	if resp, _ := postJSON(t, srv.URL+"/v1/compile", Request{QASM: ghzQASM, Backend: "sabre", Family: "hexagonal"}); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad family status = %d, want 400", resp.StatusCode)
+	}
+}
+
 func TestStatsUptime(t *testing.T) {
 	e := New(Config{Workers: 1})
 	defer e.Close()

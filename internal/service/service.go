@@ -1,11 +1,13 @@
-// Package service turns the one-shot Atomique compiler into a long-running
-// compile service: a bounded job queue drained by a worker pool that runs
-// core.Compile concurrently (compilation is deterministic per seed, so
-// results are safely parallelizable and cacheable), fronted by a
-// content-addressed LRU result cache keyed on (circuit fingerprint, hardware
-// config, compile options). The HTTP/JSON API lives in http.go; the engine
-// here is equally usable in-process (cmd/experiments routes the figure
-// drivers' compilations through it to dedupe repeated sweeps).
+// Package service turns the one-shot compilers into a long-running compile
+// service: a bounded job queue drained by a worker pool that runs any
+// registered compiler backend concurrently (compilation is deterministic per
+// seed, so results are safely parallelizable and cacheable), fronted by a
+// content-addressed LRU result cache keyed on (backend, circuit fingerprint,
+// target, compile options). Backends are selected per request through the
+// unified registry (internal/compiler); GET /v1/backends lists them. The
+// HTTP/JSON API lives in http.go; the engine here is equally usable
+// in-process (cmd/experiments routes the figure drivers' compilations
+// through it to dedupe repeated sweeps).
 package service
 
 import (
@@ -23,12 +25,17 @@ import (
 
 	"atomique/internal/bench"
 	"atomique/internal/circuit"
-	"atomique/internal/core"
+	"atomique/internal/compiler"
 	"atomique/internal/hardware"
 	"atomique/internal/metrics"
 	"atomique/internal/qasm"
 	"atomique/internal/report"
+
+	_ "atomique/internal/compiler/backends" // register the built-in backends
 )
+
+// DefaultBackend is the backend used when a request does not name one.
+const DefaultBackend = "atomique"
 
 // ErrQueueFull is returned by fail-fast submission when the bounded job
 // queue has no free slot; the HTTP layer maps it to 429 Too Many Requests.
@@ -80,21 +87,28 @@ func (c Config) withDefaults() Config {
 }
 
 // Request is one compile order: either a named Table II benchmark or inline
-// OpenQASM 2.0 source, plus compile options and an optional machine override
-// (any of SLM/AODs/AODSize set builds a custom machine; unset fields keep
-// the paper's defaults).
+// OpenQASM 2.0 source, plus the backend to compile with (default "atomique";
+// see GET /v1/backends), compile options, and a device override. FPQA
+// backends accept a machine override (any of SLM/AODs/AODSize set builds a
+// custom machine; unset fields keep the paper's defaults); fixed-topology
+// backends accept a coupling family instead.
 type Request struct {
 	Benchmark string `json:"benchmark,omitempty"`
 	QASM      string `json:"qasm,omitempty"`
 
-	Seed   int64  `json:"seed,omitempty"`
-	Serial bool   `json:"serial,omitempty"` // ablation: serial router
-	Dense  bool   `json:"dense,omitempty"`  // ablation: round-robin mapper
-	Relax  string `json:"relax,omitempty"`  // comma-separated constraint IDs (1,2,3)
+	Backend string `json:"backend,omitempty"` // registered backend name
 
-	SLM     int `json:"slm,omitempty"`     // SLM side length
-	AODs    int `json:"aods,omitempty"`    // number of AOD arrays
-	AODSize int `json:"aodSize,omitempty"` // AOD side length
+	Seed   int64   `json:"seed,omitempty"`
+	Serial bool    `json:"serial,omitempty"` // ablation: serial router
+	Dense  bool    `json:"dense,omitempty"`  // ablation: round-robin mapper
+	Relax  string  `json:"relax,omitempty"`  // comma-separated constraint IDs (1,2,3)
+	Exact  bool    `json:"exact,omitempty"`  // solver backends: exact (exponential) mode
+	Budget float64 `json:"budget,omitempty"` // solver backends: compile budget in seconds (0 = backend default)
+
+	SLM     int    `json:"slm,omitempty"`     // SLM side length (FPQA backends)
+	AODs    int    `json:"aods,omitempty"`    // number of AOD arrays (FPQA backends)
+	AODSize int    `json:"aodSize,omitempty"` // AOD side length (FPQA backends)
+	Family  string `json:"family,omitempty"`  // coupling family (fixed-topology backends)
 }
 
 // State is a job's lifecycle phase.
@@ -113,6 +127,7 @@ const (
 type Job struct {
 	ID          string          `json:"id"`
 	State       State           `json:"state"`
+	Backend     string          `json:"backend,omitempty"`
 	Benchmark   string          `json:"benchmark,omitempty"`
 	CircuitHash string          `json:"circuitHash"`
 	Cached      bool            `json:"cached"`
@@ -125,12 +140,13 @@ type Job struct {
 // task is a fully resolved compilation: inputs plus the content-addressed
 // cache key.
 type task struct {
-	label string // benchmark name or request label, informational only
-	hash  string // circuit fingerprint
-	key   string // cache key
-	cfg   hardware.Config
-	circ  *circuit.Circuit
-	opts  core.Options
+	label   string // benchmark name or request label, informational only
+	hash    string // circuit fingerprint
+	key     string // cache key
+	backend compiler.Backend
+	target  compiler.Target
+	circ    *circuit.Circuit
+	opts    compiler.Options
 }
 
 // job is the internal record behind a Job snapshot.
@@ -173,16 +189,12 @@ type Stats struct {
 	PassRuns    uint64             `json:"passRuns,omitempty"`
 }
 
-// compileFunc is the engine's compilation backend; tests substitute it to
+// compileFunc is the engine's compilation seam; tests substitute it to
 // exercise queueing and cancellation without real compilations.
-type compileFunc func(ctx context.Context, cfg hardware.Config, circ *circuit.Circuit, opts core.Options) (metrics.Compiled, error)
+type compileFunc func(ctx context.Context, b compiler.Backend, tgt compiler.Target, circ *circuit.Circuit, opts compiler.Options) (*compiler.Result, error)
 
-func defaultCompile(ctx context.Context, cfg hardware.Config, circ *circuit.Circuit, opts core.Options) (metrics.Compiled, error) {
-	res, err := core.CompileContext(ctx, cfg, circ, opts)
-	if err != nil {
-		return metrics.Compiled{}, err
-	}
-	return res.Metrics, nil
+func defaultCompile(ctx context.Context, b compiler.Backend, tgt compiler.Target, circ *circuit.Circuit, opts compiler.Options) (*compiler.Result, error) {
+	return b.Compile(ctx, tgt, circ, opts)
 }
 
 // maxTrackedJobs bounds the finished-job history kept for GET /v1/jobs/{id}.
@@ -333,67 +345,126 @@ func (e *Engine) resolve(req Request) (task, error) {
 		return task{}, &RequestError{Msg: "request must set benchmark or qasm"}
 	}
 
-	cfg := e.cfg.Hardware
-	if req.SLM < 0 || req.AODs < 0 || req.AODSize < 0 {
-		return task{}, &RequestError{Msg: "machine override values (slm, aods, aodSize) must be positive"}
+	backendName := req.Backend
+	if backendName == "" {
+		backendName = DefaultBackend
 	}
-	if req.SLM != 0 || req.AODs != 0 || req.AODSize != 0 {
-		// Partial overrides keep the engine default for unset dimensions
-		// (including a non-square configured SLM); overriding aodSize makes
-		// the AOD arrays homogeneous at that size.
-		slmSpec := cfg.SLM
-		if req.SLM > 0 {
-			slmSpec = hardware.ArraySpec{Rows: req.SLM, Cols: req.SLM}
-		}
-		var aodSpec hardware.ArraySpec
-		if len(cfg.AODs) > 0 {
-			aodSpec = cfg.AODs[0]
-		}
-		if req.AODSize > 0 {
-			aodSpec = hardware.ArraySpec{Rows: req.AODSize, Cols: req.AODSize}
-		}
-		aods := len(cfg.AODs)
-		if req.AODs > 0 {
-			aods = req.AODs
-		}
-		cfg = hardware.Config{SLM: slmSpec, Params: cfg.Params}
-		for i := 0; i < aods; i++ {
-			cfg.AODs = append(cfg.AODs, aodSpec)
-		}
-	}
-	if err := cfg.Validate(); err != nil {
-		return task{}, &RequestError{Msg: err.Error()}
-	}
-	if circ.N > cfg.Capacity() {
-		return task{}, &RequestError{
-			Msg: fmt.Sprintf("circuit needs %d qubits, machine has %d sites", circ.N, cfg.Capacity()),
-		}
+	be, ok := compiler.Lookup(backendName)
+	if !ok {
+		return task{}, &RequestError{Msg: fmt.Sprintf("unknown backend %q (see GET /v1/backends; registered: %v)",
+			backendName, compiler.Names())}
 	}
 
-	opts := core.Options{Seed: req.Seed, SerialRouter: req.Serial, DenseMapper: req.Dense}
+	tgt, err := e.resolveTarget(be, req, circ)
+	if err != nil {
+		return task{}, err
+	}
+
+	if req.Budget < 0 {
+		return task{}, &RequestError{Msg: "budget must be non-negative seconds"}
+	}
+	opts := compiler.Options{Seed: req.Seed, SerialRouter: req.Serial, DenseMapper: req.Dense,
+		Exact: req.Exact, BudgetSeconds: req.Budget}
 	if err := opts.ApplyRelax(req.Relax); err != nil {
 		return task{}, &RequestError{Msg: err.Error()}
 	}
 
 	return task{
-		label: label,
-		hash:  hash,
-		key:   cacheKey(hash, cfg, opts),
-		cfg:   cfg,
-		circ:  circ,
-		opts:  opts,
+		label:   label,
+		hash:    hash,
+		key:     cacheKey(be.Name(), hash, tgt, opts),
+		backend: be,
+		target:  tgt,
+		circ:    circ,
+		opts:    opts,
 	}, nil
 }
 
-// cacheKey derives the content-addressed key: circuit fingerprint plus the
-// canonical JSON of the hardware config and compile options (which include
-// the seed). Deterministic struct-field order makes the key stable.
-func cacheKey(fingerprint string, cfg hardware.Config, opts core.Options) string {
+// resolveTarget builds the device description a request compiles against:
+// FPQA backends get the engine's default machine with any per-request
+// override applied; fixed-topology backends get the requested coupling
+// family (or their own default). Options that do not apply to the selected
+// backend's target kind are rejected, not silently ignored.
+func (e *Engine) resolveTarget(be compiler.Backend, req Request, circ *circuit.Circuit) (compiler.Target, error) {
+	caps := be.Capabilities()
+	hasMachine := req.SLM != 0 || req.AODs != 0 || req.AODSize != 0
+	switch {
+	case caps.FPQA:
+		if req.Family != "" {
+			return compiler.Target{}, &RequestError{
+				Msg: fmt.Sprintf("backend %q compiles FPQA machines; family applies only to fixed-topology backends", be.Name())}
+		}
+		cfg := e.cfg.Hardware
+		if req.SLM < 0 || req.AODs < 0 || req.AODSize < 0 {
+			return compiler.Target{}, &RequestError{Msg: "machine override values (slm, aods, aodSize) must be positive"}
+		}
+		if hasMachine {
+			// Partial overrides keep the engine default for unset dimensions
+			// (including a non-square configured SLM); overriding aodSize makes
+			// the AOD arrays homogeneous at that size.
+			slmSpec := cfg.SLM
+			if req.SLM > 0 {
+				slmSpec = hardware.ArraySpec{Rows: req.SLM, Cols: req.SLM}
+			}
+			var aodSpec hardware.ArraySpec
+			if len(cfg.AODs) > 0 {
+				aodSpec = cfg.AODs[0]
+			}
+			if req.AODSize > 0 {
+				aodSpec = hardware.ArraySpec{Rows: req.AODSize, Cols: req.AODSize}
+			}
+			aods := len(cfg.AODs)
+			if req.AODs > 0 {
+				aods = req.AODs
+			}
+			cfg = hardware.Config{SLM: slmSpec, Params: cfg.Params}
+			for i := 0; i < aods; i++ {
+				cfg.AODs = append(cfg.AODs, aodSpec)
+			}
+		}
+		if err := cfg.Validate(); err != nil {
+			return compiler.Target{}, &RequestError{Msg: err.Error()}
+		}
+		// Site capacity only bounds backends that place circuit qubits onto
+		// the machine's trap sites (routing backends). Q-Pilot-style
+		// backends take the target solely as a parameter source and lay out
+		// their own geometry, so the comparison would be wrong for them.
+		if caps.Routes && circ.N > cfg.Capacity() {
+			return compiler.Target{}, &RequestError{
+				Msg: fmt.Sprintf("circuit needs %d qubits, machine has %d sites", circ.N, cfg.Capacity()),
+			}
+		}
+		return compiler.FPQA(cfg), nil
+	case caps.Coupling:
+		if hasMachine {
+			return compiler.Target{}, &RequestError{
+				Msg: fmt.Sprintf("backend %q compiles fixed topologies; slm/aods/aodSize apply only to FPQA backends", be.Name())}
+		}
+		if req.Family == "" {
+			return compiler.Target{}, nil // backend's canonical device
+		}
+		tgt := compiler.Coupling(req.Family, 0)
+		if err := tgt.Validate(); err != nil {
+			return compiler.Target{}, &RequestError{Msg: err.Error()}
+		}
+		return tgt, nil
+	default:
+		return compiler.Target{}, &RequestError{Msg: fmt.Sprintf("backend %q declares no supported target kind", be.Name())}
+	}
+}
+
+// cacheKey derives the content-addressed key: backend name and circuit
+// fingerprint plus the canonical JSON of the target and compile options
+// (which include the seed). Deterministic struct-field order makes the key
+// stable; the backend name guarantees two backends never alias an entry.
+func cacheKey(backend, fingerprint string, tgt compiler.Target, opts compiler.Options) string {
 	h := sha256.New()
+	io.WriteString(h, backend)
+	io.WriteString(h, "\x00")
 	io.WriteString(h, fingerprint)
 	enc := json.NewEncoder(h)
-	if err := enc.Encode(cfg); err != nil {
-		panic(fmt.Sprintf("service: encode config: %v", err))
+	if err := enc.Encode(tgt); err != nil {
+		panic(fmt.Sprintf("service: encode target: %v", err))
 	}
 	if err := enc.Encode(opts); err != nil {
 		panic(fmt.Sprintf("service: encode options: %v", err))
@@ -504,11 +575,16 @@ func (e *Engine) Compile(ctx context.Context, req Request) (*Job, error) {
 	return j, nil
 }
 
-// CompileMetrics is the in-process batch path: it runs one compilation
-// through the queue, worker pool, and cache, returning the metrics record.
-// cmd/experiments points the figure drivers here so repeated sweeps over
-// identical (circuit, config, options) triples hit the cache.
-func (e *Engine) CompileMetrics(ctx context.Context, cfg hardware.Config, circ *circuit.Circuit, opts core.Options) (metrics.Compiled, error) {
+// CompileMetrics is the in-process batch path: it runs one compilation of
+// the default (atomique) backend through the queue, worker pool, and cache,
+// returning the metrics record. cmd/experiments points the figure drivers
+// here so repeated sweeps over identical (circuit, config, options) triples
+// hit the cache.
+func (e *Engine) CompileMetrics(ctx context.Context, cfg hardware.Config, circ *circuit.Circuit, opts compiler.Options) (metrics.Compiled, error) {
+	be, ok := compiler.Lookup(DefaultBackend)
+	if !ok {
+		return metrics.Compiled{}, fmt.Errorf("service: default backend %q not registered", DefaultBackend)
+	}
 	var hash string
 	if v, ok := e.fpMemo.Load(circ); ok {
 		hash = v.(string)
@@ -516,7 +592,9 @@ func (e *Engine) CompileMetrics(ctx context.Context, cfg hardware.Config, circ *
 		hash = circ.Fingerprint()
 		e.fpMemo.Store(circ, hash)
 	}
-	t := task{label: "in-process", hash: hash, key: cacheKey(hash, cfg, opts), cfg: cfg, circ: circ, opts: opts}
+	tgt := compiler.FPQA(cfg)
+	t := task{label: "in-process", hash: hash, key: cacheKey(be.Name(), hash, tgt, opts),
+		backend: be, target: tgt, circ: circ, opts: opts}
 	j, err := e.submitBlocking(ctx, t)
 	if err != nil {
 		return metrics.Compiled{}, err
@@ -569,7 +647,7 @@ func (e *Engine) Cancel(id string) (bool, error) {
 		// Finish immediately so the caller observes "cancelled" rather than
 		// a stale "queued"; the worker that later pops the job finds it
 		// finalized and skips it.
-		e.finish(j, &outcome{err: fmt.Errorf("core: compilation cancelled: %w", context.Canceled)}, false)
+		e.finish(j, &outcome{err: fmt.Errorf("service: compilation cancelled: %w", context.Canceled)}, false)
 	}
 	return true, nil
 }
@@ -617,7 +695,7 @@ func (e *Engine) worker() {
 // cache (coalescing with any in-flight identical computation).
 func (e *Engine) run(j *job) {
 	if j.ctx.Err() != nil {
-		e.finish(j, &outcome{err: fmt.Errorf("core: compilation cancelled: %w", j.ctx.Err())}, false)
+		e.finish(j, &outcome{err: fmt.Errorf("service: compilation cancelled: %w", j.ctx.Err())}, false)
 		return
 	}
 	j.mu.Lock()
@@ -642,9 +720,13 @@ func (e *Engine) compute(ctx context.Context, t task) (*outcome, bool) {
 			e.misses.Add(1)
 			out := e.execute(ctx, t)
 			e.cache.fulfill(ent, out)
-			if out.err != nil {
-				// Errors are not cached: cancellations are caller-specific
-				// and config errors are caught at resolve time.
+			if out.err != nil || out.timedOut {
+				// Errors are not cached: cancellations are caller-specific,
+				// and client errors are caught at resolve time (backend-side
+				// size limits still fail the individual job). Timed-out
+				// anytime-solver outcomes are not cached either — the
+				// timeout reflects wall-clock load, not the inputs, so a
+				// later identical request deserves a fresh attempt.
 				e.cache.drop(ent)
 			}
 			return out, false
@@ -658,23 +740,27 @@ func (e *Engine) compute(ctx context.Context, t task) (*outcome, bool) {
 			e.hits.Add(1)
 			return out, true
 		case <-ctx.Done():
-			return &outcome{err: fmt.Errorf("core: compilation cancelled: %w", ctx.Err())}, false
+			return &outcome{err: fmt.Errorf("service: compilation cancelled: %w", ctx.Err())}, false
 		}
 	}
 }
 
-// execute runs the compilation backend and packages the result envelope.
+// execute runs the task's backend and packages the result envelope.
 func (e *Engine) execute(ctx context.Context, t task) *outcome {
-	m, err := e.compile(ctx, t.cfg, t.circ, t.opts)
+	res, err := e.compile(ctx, t.backend, t.target, t.circ, t.opts)
 	if err != nil {
 		return &outcome{err: err}
 	}
-	e.recordPasses(m.Passes)
-	js, err := report.NewEnvelope(t.hash, m).EncodeJSON()
+	e.recordPasses(res.Metrics.Passes)
+	env := report.NewEnvelope(t.hash, res.Metrics)
+	env.Backend = res.Backend
+	env.Extra = res.Extra
+	env.TimedOut = res.TimedOut
+	js, err := env.EncodeJSON()
 	if err != nil {
 		return &outcome{err: fmt.Errorf("service: encode result: %w", err)}
 	}
-	return &outcome{metrics: m, json: js}
+	return &outcome{metrics: res.Metrics, json: js, timedOut: res.TimedOut}
 }
 
 // recordPasses folds one compilation's per-pass timings into the engine-wide
@@ -740,6 +826,9 @@ func (e *Engine) snapshot(j *job) *Job {
 		CircuitHash: j.task.hash,
 		Cached:      j.cached,
 		SubmittedAt: j.submitted,
+	}
+	if j.task.backend != nil {
+		v.Backend = j.task.backend.Name()
 	}
 	if !j.finishedAt.IsZero() {
 		t := j.finishedAt

@@ -11,6 +11,7 @@ import (
 
 	"atomique/internal/bench"
 	"atomique/internal/circuit"
+	"atomique/internal/compiler"
 	"atomique/internal/core"
 	"atomique/internal/hardware"
 	"atomique/internal/metrics"
@@ -203,6 +204,116 @@ func TestConcurrentIdenticalRequests(t *testing.T) {
 	}
 }
 
+// TestCacheKeyIncludesBackend pins the no-aliasing property: the same
+// circuit, seed, and device compiled by two different backends must occupy
+// two cache entries, and every key component perturbs the key.
+func TestCacheKeyIncludesBackend(t *testing.T) {
+	e := New(Config{Workers: 2})
+	defer e.Close()
+
+	atom, err := e.resolve(Request{Benchmark: "H2-4", Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qp, err := e.resolve(Request{Benchmark: "H2-4", Seed: 1, Backend: "qpilot"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if atom.key == qp.key {
+		t.Fatal("atomique and qpilot resolve to the same cache key")
+	}
+	// Both backends see FPQA targets here, so the only difference is the
+	// backend name component.
+	if atom.hash != qp.hash {
+		t.Fatal("same circuit produced different fingerprints")
+	}
+
+	// End to end: compiling the same request on two backends yields two
+	// misses and two cache entries, never a cross-backend hit.
+	for _, backend := range []string{"", "qpilot"} {
+		if _, err := e.Compile(context.Background(), Request{Benchmark: "H2-4", Seed: 1, Backend: backend}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := e.Stats()
+	if st.CacheMisses != 2 || st.CacheHits != 0 || st.CacheEntries != 2 {
+		t.Errorf("misses/hits/entries = %d/%d/%d, want 2/0/2", st.CacheMisses, st.CacheHits, st.CacheEntries)
+	}
+}
+
+// TestResolveBudgetAndCapacity pins two resolve behaviours: the budget
+// field reaches the backend options (negative rejected), and the machine
+// capacity check applies only to backends that place qubits on the machine
+// (qpilot lays out its own geometry, so over-capacity circuits are fine).
+func TestResolveBudgetAndCapacity(t *testing.T) {
+	e := New(Config{Workers: 1})
+	defer e.Close()
+
+	tk, err := e.resolve(Request{Benchmark: "H2-4", Backend: "solverref", Exact: true, Budget: 1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tk.opts.Exact || tk.opts.BudgetSeconds != 1.5 {
+		t.Errorf("opts = %+v, want Exact with 1.5s budget", tk.opts)
+	}
+	var re *RequestError
+	if _, err := e.resolve(Request{Benchmark: "H2-4", Budget: -1}); !errors.As(err, &re) {
+		t.Errorf("negative budget err = %v, want *RequestError", err)
+	}
+
+	big := "OPENQASM 2.0;\nqreg q[350];\ncx q[0],q[1];\n" // over the 300-site default machine
+	if _, err := e.resolve(Request{QASM: big, Backend: "qpilot"}); err != nil {
+		t.Errorf("qpilot over-capacity resolve rejected: %v", err)
+	}
+	if _, err := e.resolve(Request{QASM: big}); !errors.As(err, &re) {
+		t.Errorf("atomique over-capacity err = %v, want *RequestError", err)
+	}
+}
+
+// TestTimedOutResultsNotCached: a budget-bounded solver run that times out
+// reflects wall-clock load, not the inputs, so it must never poison the
+// cache — an identical later request recompiles.
+func TestTimedOutResultsNotCached(t *testing.T) {
+	calls := 0
+	e := newEngine(Config{Workers: 1}, func(_ context.Context, _ compiler.Backend, _ compiler.Target, circ *circuit.Circuit, _ compiler.Options) (*compiler.Result, error) {
+		calls++
+		return &compiler.Result{Backend: "stub", TimedOut: true,
+			Metrics: metrics.Compiled{Arch: "stub", NQubits: circ.N}}, nil
+	})
+	defer e.Close()
+	for i := 0; i < 2; i++ {
+		j, err := e.Compile(context.Background(), Request{Benchmark: "H2-4", Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if j.State != StateDone {
+			t.Fatalf("attempt %d state = %s", i, j.State)
+		}
+	}
+	if calls != 2 {
+		t.Errorf("backend ran %d times, want 2 (timed-out outcome must not be cached)", calls)
+	}
+	if st := e.Stats(); st.CacheEntries != 0 {
+		t.Errorf("cache entries = %d, want 0", st.CacheEntries)
+	}
+}
+
+// TestResolveDefaultBackend: an empty backend field selects atomique.
+func TestResolveDefaultBackend(t *testing.T) {
+	e := New(Config{Workers: 1})
+	defer e.Close()
+	tk, err := e.resolve(Request{Benchmark: "H2-4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tk.backend.Name() != DefaultBackend {
+		t.Errorf("default backend = %q, want %q", tk.backend.Name(), DefaultBackend)
+	}
+	if tk.target.Kind != compiler.KindFPQA {
+		t.Errorf("default target kind = %q, want fpqa", tk.target.Kind)
+	}
+}
+
 // blockingBackend is a compile stub that parks until released (or its
 // context is cancelled), for queue and cancellation tests.
 type blockingBackend struct {
@@ -214,13 +325,13 @@ func newBlockingBackend() *blockingBackend {
 	return &blockingBackend{started: make(chan string, 16), release: make(chan struct{})}
 }
 
-func (b *blockingBackend) compile(ctx context.Context, cfg hardware.Config, circ *circuit.Circuit, opts core.Options) (metrics.Compiled, error) {
+func (b *blockingBackend) compile(ctx context.Context, _ compiler.Backend, _ compiler.Target, circ *circuit.Circuit, _ compiler.Options) (*compiler.Result, error) {
 	b.started <- "started"
 	select {
 	case <-b.release:
-		return metrics.Compiled{Arch: "stub", NQubits: circ.N}, nil
+		return &compiler.Result{Backend: "stub", Metrics: metrics.Compiled{Arch: "stub", NQubits: circ.N}}, nil
 	case <-ctx.Done():
-		return metrics.Compiled{}, ctx.Err()
+		return nil, ctx.Err()
 	}
 }
 
