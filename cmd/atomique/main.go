@@ -9,6 +9,7 @@
 //	         [-aodsize 10] [-serial] [-dense] [-relax 1,2,3] [-schedule]
 //	         [-seed 7]
 //	atomique -backend sabre -family triangular -bench QV-32
+//	atomique -backend zoned -bench QV-32 [-zstorage 12] [-zsites 6] [-zgap 80]
 //	atomique -list          # benchmarks
 //	atomique -backends      # registered compiler backends
 package main
@@ -43,6 +44,9 @@ func main() {
 		slm          = flag.Int("slm", 10, "SLM array side length (FPQA backends)")
 		aods         = flag.Int("aods", 2, "number of AOD arrays (FPQA backends)")
 		aodSize      = flag.Int("aodsize", 10, "AOD array side length (FPQA backends)")
+		zStorage     = flag.Int("zstorage", 0, "storage-zone side length (zoned backends; 0 = sized for the circuit)")
+		zSites       = flag.Int("zsites", 0, "entangling-zone gate sites (zoned backends; 0 = default)")
+		zGap         = flag.Float64("zgap", 0, "storage-entangling zone gap in um (zoned backends; 0 = default)")
 		seed         = flag.Int64("seed", 7, "compilation seed")
 		serial       = flag.Bool("serial", false, "ablate: serial router (one gate per stage)")
 		dense        = flag.Bool("dense", false, "ablate: round-robin array mapper")
@@ -136,14 +140,49 @@ func main() {
 	// 16x16 OLSQ-DPQA arrays) — exactly like an unset -family resolves to a
 	// coupling backend's canonical topology.
 	machineFlagSet := false
+	zoneFlagSet := false
 	flag.Visit(func(f *flag.Flag) {
-		if f.Name == "slm" || f.Name == "aods" || f.Name == "aodsize" {
+		switch f.Name {
+		case "slm", "aods", "aodsize":
 			machineFlagSet = true
+		case "zstorage", "zsites", "zgap":
+			zoneFlagSet = true
 		}
 	})
+	if zoneFlagSet && !caps.Zoned {
+		fmt.Fprintf(os.Stderr, "atomique: -zstorage/-zsites/-zgap apply only to zoned backends (%s is not one)\n", backend.Name())
+		os.Exit(1)
+	}
 	var tgt compiler.Target
 	var cfg hardware.Config
+	var zones hardware.ZoneGeometry
 	switch {
+	case caps.Zoned:
+		if *family != "" || machineFlagSet {
+			fmt.Fprintf(os.Stderr, "atomique: %s compiles zoned machines; use -zstorage/-zsites/-zgap instead of -family or -slm/-aods/-aodsize\n", backend.Name())
+			os.Exit(1)
+		}
+		zones = hardware.ZonesFor(circ.Circ.N)
+		if zoneFlagSet {
+			if *zStorage < 0 || *zSites < 0 || *zGap < 0 {
+				fmt.Fprintln(os.Stderr, "atomique: -zstorage/-zsites/-zgap must be non-negative (0 = default)")
+				os.Exit(1)
+			}
+			if *zStorage > 0 {
+				zones.StorageRows, zones.StorageCols = *zStorage, *zStorage
+			}
+			if *zSites > 0 {
+				zones.EntangleSites = *zSites
+			}
+			if *zGap > 0 {
+				zones.ZoneGap = *zGap * 1e-6
+			}
+			tgt = compiler.Zoned(zones)
+			if err := tgt.Validate(); err != nil {
+				fmt.Fprintf(os.Stderr, "atomique: %v\n", err)
+				os.Exit(1)
+			}
+		}
 	case caps.FPQA:
 		if *family != "" {
 			fmt.Fprintf(os.Stderr, "atomique: -family applies only to fixed-topology backends (%s compiles FPQA machines)\n", backend.Name())
@@ -194,6 +233,9 @@ func main() {
 	fmt.Printf("benchmark        %s (%d qubits, %d 2Q + %d 1Q gates)\n",
 		circ.Name, circ.Circ.N, circ.Circ.Num2Q(), circ.Circ.Num1Q())
 	switch {
+	case caps.Zoned:
+		fmt.Printf("machine          %dx%d storage + %d gate sites (zone gap %.0f um)\n",
+			zones.StorageRows, zones.StorageCols, zones.EntangleSites, zones.ZoneGap*1e6)
 	case caps.FPQA && (machineFlagSet || hasSchedule):
 		// The atomique backend compiles on cfg even for the auto target.
 		fmt.Printf("machine          %dx%d SLM + %d x %dx%d AOD\n",

@@ -87,8 +87,18 @@ func BakerLongRange(n int) Arch {
 // Compile routes circ onto the architecture and returns the evaluation
 // metrics (gate counts, 2Q depth, added CNOTs, execution time, fidelity).
 func Compile(a Arch, circ *circuit.Circuit, seed int64) (metrics.Compiled, error) {
+	m, _, err := CompileRouted(a, circ, seed)
+	return m, err
+}
+
+// CompileRouted is Compile exposing the underlying routing result — the
+// physical circuit over device qubits plus the final logical-to-physical
+// mapping — which is the execution witness the simulator-backed backend
+// verification replays. ZZ interactions appear CX-decomposed in the routed
+// circuit when the architecture lacks a native ZZ.
+func CompileRouted(a Arch, circ *circuit.Circuit, seed int64) (metrics.Compiled, sabre.Result, error) {
 	if circ.N > a.Coupling.N {
-		return metrics.Compiled{}, fmt.Errorf(
+		return metrics.Compiled{}, sabre.Result{}, fmt.Errorf(
 			"arch: circuit needs %d qubits, %s has %d", circ.N, a.Name, a.Coupling.N)
 	}
 	prepared := circ
@@ -118,7 +128,7 @@ func Compile(a Arch, circ *circuit.Circuit, seed int64) (metrics.Compiled, error
 		AddedCNOTs:    res.AddedCNOTs(),
 		ExecutionTime: float64(depth2Q)*a.Params.Time2Q + float64(oneQLayers)*a.Params.Time1Q,
 		Fidelity:      bd,
-	}, nil
+	}, res, nil
 }
 
 // decomposeZZ lowers each ZZ interaction to CX·RZ·CX for hardware without a

@@ -25,6 +25,9 @@ func (atomiqueBackend) Capabilities() compiler.Capabilities {
 }
 
 func (b atomiqueBackend) Compile(ctx context.Context, tgt compiler.Target, circ *circuit.Circuit, opts compiler.Options) (*compiler.Result, error) {
+	if err := checkRequest(b, ctx, tgt, opts); err != nil {
+		return nil, err
+	}
 	cfg, err := tgt.Hardware(circ.N)
 	if err != nil {
 		return nil, err
@@ -45,6 +48,7 @@ func (b atomiqueBackend) Compile(ctx context.Context, tgt compiler.Target, circ 
 	return &compiler.Result{
 		Backend:  b.Name(),
 		Metrics:  res.Metrics,
+		Program:  programFromSchedule(res.Schedule, len(res.SiteOf), res.FinalSlotOf),
 		Artifact: res,
 	}, nil
 }

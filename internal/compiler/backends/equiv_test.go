@@ -2,6 +2,7 @@ package backends
 
 import (
 	"context"
+	"errors"
 	"reflect"
 	"testing"
 	"time"
@@ -16,6 +17,7 @@ import (
 	"atomique/internal/metrics"
 	"atomique/internal/qpilot"
 	"atomique/internal/solverref"
+	"atomique/internal/zoned"
 )
 
 // canonical strips wall-clock measurements so metrics from two runs of the
@@ -37,10 +39,10 @@ func mustLookup(t *testing.T, name string) compiler.Backend {
 	return b
 }
 
-// TestAllFiveBackendsRegistered pins the acceptance criterion: every
-// baseline compiler is reachable through the registry.
-func TestAllFiveBackendsRegistered(t *testing.T) {
-	for _, name := range []string{"atomique", "geyser", "qpilot", "sabre", "solverref"} {
+// TestAllSixBackendsRegistered pins the acceptance criterion: every
+// built-in compiler is reachable through the registry.
+func TestAllSixBackendsRegistered(t *testing.T) {
+	for _, name := range []string{"atomique", "geyser", "qpilot", "sabre", "solverref", "zoned"} {
 		b := mustLookup(t, name)
 		if b.Name() != name {
 			t.Errorf("backend %q reports name %q", name, b.Name())
@@ -49,7 +51,7 @@ func TestAllFiveBackendsRegistered(t *testing.T) {
 		if caps.Description == "" {
 			t.Errorf("backend %q has no description", name)
 		}
-		if !caps.FPQA && !caps.Coupling {
+		if !caps.FPQA && !caps.Coupling && !caps.Zoned {
 			t.Errorf("backend %q accepts no target kind", name)
 		}
 	}
@@ -226,17 +228,62 @@ func TestSolverrefBackendMatchesDirect(t *testing.T) {
 	}
 }
 
+// TestZonedBackendMatchesDirect: the adapter is a faithful re-plumbing of
+// zoned.Compile — identical metrics, a rich Artifact, and zone-geometry
+// targets thread through (fewer gate sites deepen the schedule).
+func TestZonedBackendMatchesDirect(t *testing.T) {
+	c := bench.QAOARegular(16, 3, 5)
+	b := mustLookup(t, "zoned")
+	want, err := zoned.Compile(hardware.ZonesFor(c.N), hardware.NeutralAtom(), c, zoned.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.Compile(context.Background(), compiler.Target{}, c, compiler.Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(canonical(got.Metrics), canonical(want.Metrics)) {
+		t.Errorf("metrics diverge:\nbackend: %+v\ndirect:  %+v", got.Metrics, want.Metrics)
+	}
+	res, ok := got.Artifact.(*zoned.Result)
+	if !ok || res.Schedule == nil {
+		t.Fatalf("artifact = %T, want *zoned.Result with schedule", got.Artifact)
+	}
+	narrow := hardware.ZonesFor(c.N)
+	narrow.EntangleSites = 1
+	serial, err := b.Compile(context.Background(), compiler.Zoned(narrow), c, compiler.Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Metrics.Depth2Q != c.Num2Q() {
+		t.Errorf("one gate site: depth %d, want one round per 2Q gate = %d",
+			serial.Metrics.Depth2Q, c.Num2Q())
+	}
+}
+
 // TestWrongTargetKindRejected: backends refuse target kinds they do not
-// support instead of silently substituting a default.
+// support with the structured capability error instead of silently
+// substituting a default.
 func TestWrongTargetKindRejected(t *testing.T) {
 	c := circuit.New(4)
 	c.CX(0, 1)
-	if _, err := mustLookup(t, "atomique").Compile(context.Background(),
-		compiler.Coupling(compiler.FamilyRectangular, 4), c, compiler.Options{}); err == nil {
-		t.Error("atomique accepted a coupling target")
+	cases := []struct {
+		backend string
+		tgt     compiler.Target
+	}{
+		{"atomique", compiler.Coupling(compiler.FamilyRectangular, 4)},
+		{"atomique", compiler.Zoned(hardware.DefaultZones())},
+		{"sabre", compiler.FPQA(hardware.DefaultConfig())},
+		{"sabre", compiler.Zoned(hardware.DefaultZones())},
+		{"zoned", compiler.FPQA(hardware.DefaultConfig())},
+		{"zoned", compiler.Coupling(compiler.FamilyRectangular, 4)},
 	}
-	if _, err := mustLookup(t, "sabre").Compile(context.Background(),
-		compiler.FPQA(hardware.DefaultConfig()), c, compiler.Options{}); err == nil {
-		t.Error("sabre accepted an fpqa target")
+	for _, tc := range cases {
+		_, err := mustLookup(t, tc.backend).Compile(context.Background(), tc.tgt, c, compiler.Options{})
+		var ue *compiler.UnsupportedError
+		if !errors.As(err, &ue) {
+			t.Errorf("%s on %s target: err = %v, want *compiler.UnsupportedError",
+				tc.backend, tc.tgt.Kind, err)
+		}
 	}
 }

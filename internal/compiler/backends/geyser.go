@@ -27,7 +27,7 @@ func (geyserBackend) Capabilities() compiler.Capabilities {
 }
 
 func (b geyserBackend) Compile(ctx context.Context, tgt compiler.Target, circ *circuit.Circuit, opts compiler.Options) (*compiler.Result, error) {
-	if err := checkCtx(ctx, "geyser"); err != nil {
+	if err := checkRequest(b, ctx, tgt, opts); err != nil {
 		return nil, err
 	}
 	a, err := tgt.Arch(circ.N, compiler.FamilyTriangular)
@@ -54,5 +54,6 @@ func (b geyserBackend) Compile(ctx context.Context, tgt compiler.Target, circ *c
 			"blocks": float64(r.Blocks),
 			"pulses": float64(r.Pulses),
 		},
+		Program: programFromRouted(r.Routed, r.FinalMapping),
 	}, nil
 }

@@ -26,7 +26,7 @@ func (qpilotBackend) Capabilities() compiler.Capabilities {
 }
 
 func (b qpilotBackend) Compile(ctx context.Context, tgt compiler.Target, circ *circuit.Circuit, opts compiler.Options) (*compiler.Result, error) {
-	if err := checkCtx(ctx, "qpilot"); err != nil {
+	if err := checkRequest(b, ctx, tgt, opts); err != nil {
 		return nil, err
 	}
 	cfg, err := tgt.Hardware(circ.N)
@@ -36,5 +36,17 @@ func (b qpilotBackend) Compile(ctx context.Context, tgt compiler.Target, circ *c
 	start := time.Now()
 	m := qpilot.CompileOn(cfg.Params, circ, opts.Seed)
 	m.CompileTime = time.Since(start)
-	return &compiler.Result{Backend: b.Name(), Metrics: m}, nil
+	// The witness is the explicit parity-ladder circuit over compute +
+	// ancilla qubits; compute qubits never move, so the final placement is
+	// the identity on the compute prefix.
+	prog := qpilot.Program(circ)
+	final := make([]int, circ.N)
+	for q := range final {
+		final[q] = q
+	}
+	return &compiler.Result{
+		Backend: b.Name(),
+		Metrics: m,
+		Program: &compiler.Program{NSlots: prog.N, Gates: prog.Gates, FinalSlot: final},
+	}, nil
 }

@@ -27,7 +27,7 @@ func (sabreBackend) Capabilities() compiler.Capabilities {
 }
 
 func (b sabreBackend) Compile(ctx context.Context, tgt compiler.Target, circ *circuit.Circuit, opts compiler.Options) (*compiler.Result, error) {
-	if err := checkCtx(ctx, "sabre"); err != nil {
+	if err := checkRequest(b, ctx, tgt, opts); err != nil {
 		return nil, err
 	}
 	a, err := tgt.Arch(circ.N, compiler.FamilyRectangular)
@@ -35,10 +35,14 @@ func (b sabreBackend) Compile(ctx context.Context, tgt compiler.Target, circ *ci
 		return nil, err
 	}
 	start := time.Now()
-	m, err := arch.Compile(a, circ, opts.Seed)
+	m, routed, err := arch.CompileRouted(a, circ, opts.Seed)
 	if err != nil {
 		return nil, err
 	}
 	m.CompileTime = time.Since(start)
-	return &compiler.Result{Backend: b.Name(), Metrics: m}, nil
+	return &compiler.Result{
+		Backend: b.Name(),
+		Metrics: m,
+		Program: programFromRouted(routed.Routed, routed.FinalMapping),
+	}, nil
 }

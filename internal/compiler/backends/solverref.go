@@ -26,11 +26,13 @@ func (solverrefBackend) Capabilities() compiler.Capabilities {
 		Movement:      true,
 		Routes:        true,
 		Deterministic: true,
+		Exact:         true,
+		Budget:        true,
 	}
 }
 
 func (b solverrefBackend) Compile(ctx context.Context, tgt compiler.Target, circ *circuit.Circuit, opts compiler.Options) (*compiler.Result, error) {
-	if err := checkCtx(ctx, "solverref"); err != nil {
+	if err := checkRequest(b, ctx, tgt, opts); err != nil {
 		return nil, err
 	}
 	sopts := solverref.Options{Mode: solverref.IterP, Seed: opts.Seed}
@@ -54,9 +56,13 @@ func (b solverrefBackend) Compile(ctx context.Context, tgt compiler.Target, circ
 	if err != nil {
 		return nil, err
 	}
-	return &compiler.Result{
+	res := &compiler.Result{
 		Backend:  b.Name(),
 		Metrics:  r.Metrics,
 		TimedOut: r.TimedOut,
-	}, nil
+	}
+	if r.Routed != nil {
+		res.Program = programFromRouted(r.Routed, r.FinalSlotOf)
+	}
+	return res, nil
 }

@@ -42,6 +42,14 @@ type Capabilities struct {
 	FPQA bool `json:"fpqa"`
 	// Coupling: accepts KindCoupling targets (fixed-topology devices).
 	Coupling bool `json:"coupling"`
+	// Zoned: accepts KindZoned targets (storage/entangling/readout zones
+	// with inter-zone shuttling).
+	Zoned bool `json:"zoned"`
+	// Exact: honours Options.Exact (an exponential exact solver mode).
+	Exact bool `json:"exact"`
+	// Budget: honours Options.BudgetSeconds (anytime wall-clock budgets,
+	// reporting Result.TimedOut on exhaustion).
+	Budget bool `json:"budget"`
 	// Movement: the schedule physically moves atoms (movement fidelity
 	// terms are populated).
 	Movement bool `json:"movement"`
@@ -118,6 +126,70 @@ func (o *Options) ApplyRelax(spec string) error {
 	return nil
 }
 
+// UnsupportedError reports a request for a capability the backend does not
+// declare: an option (exact, budget) or a target kind outside its
+// Capabilities. Callers can surface it as a client error (the compile
+// service maps it to 400) and the conformance suite asserts every backend
+// returns it — rather than silently ignoring the request — which is what
+// keeps the Capabilities record honest.
+type UnsupportedError struct {
+	// Backend is the rejecting backend's registry name.
+	Backend string
+	// Feature names the unsupported request ("exact mode", "compile budget",
+	// "zoned target", ...).
+	Feature string
+}
+
+func (e *UnsupportedError) Error() string {
+	return fmt.Sprintf("%s: backend does not support %s (see Capabilities)", e.Backend, e.Feature)
+}
+
+// CheckSupport validates a compile request against a backend's declared
+// capabilities: option flags the backend does not honour and target kinds it
+// cannot compile are rejected with *UnsupportedError. Every built-in adapter
+// calls it on entry, so a capability flag and the backend's actual behaviour
+// cannot drift apart silently.
+func CheckSupport(name string, caps Capabilities, tgt Target, opts Options) error {
+	if opts.Exact && !caps.Exact {
+		return &UnsupportedError{Backend: name, Feature: "exact mode"}
+	}
+	if opts.BudgetSeconds != 0 && !caps.Budget {
+		return &UnsupportedError{Backend: name, Feature: "compile budgets"}
+	}
+	switch tgt.Kind {
+	case KindFPQA:
+		if !caps.FPQA {
+			return &UnsupportedError{Backend: name, Feature: "fpqa targets"}
+		}
+	case KindCoupling:
+		if !caps.Coupling {
+			return &UnsupportedError{Backend: name, Feature: "coupling targets"}
+		}
+	case KindZoned:
+		if !caps.Zoned {
+			return &UnsupportedError{Backend: name, Feature: "zoned targets"}
+		}
+	}
+	return nil
+}
+
+// Program is a backend's compiled output as an executable witness: the flat
+// gate stream over physical slots, in execution order, together with the
+// final logical-to-slot placement. It is what the simulator-backed
+// differential verification (internal/compiler/conformance) replays against
+// the source circuit, so every backend must emit one for any compilation
+// that ran to completion (TimedOut results are exempt). In-process only —
+// never serialized.
+type Program struct {
+	// NSlots is the physical register width the gates act on.
+	NSlots int
+	// Gates is the executable stream; slot indices are in [0, NSlots).
+	Gates []circuit.Gate
+	// FinalSlot maps each logical qubit to the slot holding its state after
+	// execution (routing permutes logical states among atoms).
+	FinalSlot []int
+}
+
 // Result is the envelope every backend populates.
 type Result struct {
 	// Backend is the producing backend's registry name.
@@ -131,6 +203,9 @@ type Result struct {
 	// Extra carries backend-specific scalar outputs (e.g. Geyser's block and
 	// pulse counts) that have no slot in the common metrics record.
 	Extra map[string]float64 `json:"extra,omitempty"`
+	// Program is the compiled execution witness the differential
+	// verification replays (nil only when TimedOut). Never serialized.
+	Program *Program `json:"-"`
 	// Artifact is the backend's rich native result for in-process consumers
 	// (the atomique backend stores its *core.Result here so the CLI can
 	// print schedules and render placements). Never serialized.

@@ -3,6 +3,7 @@ package compiler
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"reflect"
 	"testing"
 
@@ -27,7 +28,15 @@ func TestTargetValidate(t *testing.T) {
 		{"coupling negative qubits", Coupling(FamilyTriangular, -1), true},
 		{"coupling unknown family", Coupling("hexagonal", 16), true},
 		{"coupling missing spec", Target{Kind: KindCoupling}, true},
-		{"unknown kind", Target{Kind: "zoned"}, true},
+		{"zoned default", Zoned(hardware.DefaultZones()), false},
+		{"zoned grown", Zoned(hardware.ZonesFor(500)), false},
+		{"zoned missing payload", Target{Kind: KindZoned}, true},
+		{"zoned invalid geometry", Zoned(hardware.ZoneGeometry{StorageRows: 4}), true},
+		{"zoned with fpqa payload", Target{Kind: KindZoned,
+			Zoned: &ZonedSpec{Geometry: hardware.DefaultZones()},
+			FPQA:  func() *hardware.Config { c := hardware.DefaultConfig(); return &c }()}, true},
+		{"auto with zoned payload", Target{Zoned: &ZonedSpec{Geometry: hardware.DefaultZones()}}, true},
+		{"unknown kind", Target{Kind: "hybrid"}, true},
 	}
 	for _, tc := range cases {
 		if err := tc.tgt.Validate(); (err != nil) != tc.wantErr {
@@ -42,6 +51,8 @@ func TestTargetJSONRoundTrip(t *testing.T) {
 		FPQA(hardware.DefaultConfig()),
 		Coupling(FamilyLongRange, 40),
 		CouplingWithParams(FamilyRectangular, 20, hardware.NeutralAtom()),
+		Zoned(hardware.DefaultZones()),
+		ZonedWithParams(hardware.ZonesFor(150), hardware.NeutralAtom()),
 	} {
 		js, err := json.Marshal(tgt)
 		if err != nil {
@@ -107,6 +118,71 @@ func TestTargetMaterialisation(t *testing.T) {
 	}
 	if _, err := FPQA(hardware.DefaultConfig()).Arch(10, FamilyRectangular); err == nil {
 		t.Error("fpqa target materialised as fixed-topology arch")
+	}
+
+	// Zoned materialisation: auto sizes for the circuit, explicit geometry
+	// and parameter overrides thread through, and cross-kind requests fail.
+	geo, p, err := Target{}.ZoneSetup(150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if geo.StorageCapacity() < 150 {
+		t.Errorf("auto zones capacity %d below circuit size", geo.StorageCapacity())
+	}
+	if p != hardware.NeutralAtom() {
+		t.Errorf("auto zones params = %+v, want neutral-atom defaults", p)
+	}
+	slow := hardware.NeutralAtom()
+	slow.CoherenceT1 = 0.5
+	geo2 := hardware.DefaultZones()
+	geo2.EntangleSites = 3
+	g, p2, err := ZonedWithParams(geo2, slow).ZoneSetup(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.EntangleSites != 3 || p2.CoherenceT1 != 0.5 {
+		t.Errorf("zoned overrides lost: %+v, %+v", g, p2)
+	}
+	if _, _, err := FPQA(hardware.DefaultConfig()).ZoneSetup(4); err == nil {
+		t.Error("fpqa target materialised as zones")
+	}
+	if _, err := Zoned(hardware.DefaultZones()).Hardware(4); err == nil {
+		t.Error("zoned target materialised as FPQA hardware")
+	}
+	if _, err := Zoned(hardware.DefaultZones()).Arch(4, FamilyRectangular); err == nil {
+		t.Error("zoned target materialised as fixed-topology arch")
+	}
+}
+
+func TestCheckSupport(t *testing.T) {
+	full := Capabilities{FPQA: true, Coupling: true, Zoned: true, Exact: true, Budget: true}
+	for _, tc := range []struct {
+		name    string
+		caps    Capabilities
+		tgt     Target
+		opts    Options
+		wantErr bool
+	}{
+		{"all declared", full, Zoned(hardware.DefaultZones()), Options{Exact: true, BudgetSeconds: 1}, false},
+		{"undeclared exact", Capabilities{FPQA: true}, Target{}, Options{Exact: true}, true},
+		{"undeclared budget", Capabilities{FPQA: true}, Target{}, Options{BudgetSeconds: 2}, true},
+		{"undeclared zoned kind", Capabilities{FPQA: true}, Zoned(hardware.DefaultZones()), Options{}, true},
+		{"undeclared fpqa kind", Capabilities{Zoned: true}, FPQA(hardware.DefaultConfig()), Options{}, true},
+		{"undeclared coupling kind", Capabilities{FPQA: true}, Coupling(FamilyRectangular, 4), Options{}, true},
+		{"auto always allowed", Capabilities{}, Target{}, Options{}, false},
+	} {
+		err := CheckSupport("probe", tc.caps, tc.tgt, tc.opts)
+		if (err != nil) != tc.wantErr {
+			t.Errorf("%s: CheckSupport = %v, wantErr %v", tc.name, err, tc.wantErr)
+		}
+		if err != nil {
+			var ue *UnsupportedError
+			if !errors.As(err, &ue) {
+				t.Errorf("%s: error %T not *UnsupportedError", tc.name, err)
+			} else if ue.Backend != "probe" {
+				t.Errorf("%s: error names backend %q", tc.name, ue.Backend)
+			}
+		}
 	}
 }
 

@@ -1,20 +1,30 @@
 // Package conformance is the shared backend contract suite: one table-driven
 // battery run against every registered compiler backend. It checks the
 // properties the rest of the system relies on — populated metrics, seed
-// determinism (the service cache's premise), context cancellation, and
-// two-qubit accounting for routing backends. New backends get conformance
-// coverage for free the moment they Register.
+// determinism (the service cache's premise), context cancellation, two-qubit
+// accounting for routing backends, capabilities honesty (declared
+// zone/exact/budget support is accepted, undeclared support is rejected with
+// a structured *compiler.UnsupportedError), and semantic correctness: every
+// completed compilation carries a compiler.Program witness that the
+// state-vector simulator (internal/sim) replays against the source circuit,
+// both on the fixed conformance workload and differentially on a shared
+// corpus of random circuits (RunDifferential). New backends get all of it
+// for free the moment they Register.
 package conformance
 
 import (
 	"context"
 	"errors"
+	"fmt"
+	"math/rand"
 	"reflect"
 	"testing"
 
 	"atomique/internal/circuit"
 	"atomique/internal/compiler"
+	"atomique/internal/hardware"
 	"atomique/internal/metrics"
+	"atomique/internal/sim"
 )
 
 // Circuit returns the conformance workload: a 10-qubit circuit of H/RZ/CX
@@ -134,4 +144,225 @@ func Run(t *testing.T, b compiler.Backend) {
 				m.N2Q, want)
 		}
 	})
+
+	t.Run("program-witness", func(t *testing.T) {
+		res := compile(t, b, compiler.Options{Seed: 11})
+		if res.TimedOut {
+			t.Skip("compilation timed out; no witness owed")
+		}
+		if err := VerifyResult(circ, res); err != nil {
+			t.Errorf("backend %q: %v", b.Name(), err)
+		}
+	})
+
+	t.Run("capabilities-honesty", func(t *testing.T) {
+		runHonesty(t, b)
+	})
+}
+
+// wantUnsupported asserts that a compile attempt was rejected with the
+// structured capability error.
+func wantUnsupported(t *testing.T, name, feature string, err error) {
+	t.Helper()
+	var ue *compiler.UnsupportedError
+	if !errors.As(err, &ue) {
+		t.Errorf("backend %q: undeclared %s request: err = %v, want *compiler.UnsupportedError",
+			name, feature, err)
+	}
+}
+
+// runHonesty checks that the Capabilities record matches behaviour: a
+// backend declaring zone/exact/budget support must accept those requests,
+// and one that does not must reject them with *compiler.UnsupportedError
+// instead of silently ignoring them.
+func runHonesty(t *testing.T, b compiler.Backend) {
+	caps := b.Capabilities()
+	ctx := context.Background()
+
+	t.Run("exact", func(t *testing.T) {
+		if !caps.Exact {
+			_, err := b.Compile(ctx, compiler.Target{}, Circuit(), compiler.Options{Seed: 11, Exact: true})
+			wantUnsupported(t, b.Name(), "exact-mode", err)
+			return
+		}
+		// Exact solvers are anytime optimisers: when the backend also takes
+		// budgets, bound the probe so the suite stays fast (an Exact-only
+		// backend runs at its default budget — budgets must not be forced on
+		// a backend that does not declare them). Either completing or timing
+		// out honours the option.
+		opts := compiler.Options{Seed: 11, Exact: true}
+		if caps.Budget {
+			opts.BudgetSeconds = 0.2
+		}
+		res, err := b.Compile(ctx, compiler.Target{}, Circuit(), opts)
+		if err != nil {
+			t.Errorf("backend %q rejected its declared exact mode: %v", b.Name(), err)
+		} else if res == nil {
+			t.Errorf("backend %q returned nil exact result without error", b.Name())
+		}
+	})
+
+	t.Run("budget", func(t *testing.T) {
+		if !caps.Budget {
+			_, err := b.Compile(ctx, compiler.Target{}, Circuit(), compiler.Options{Seed: 11, BudgetSeconds: 0.5})
+			wantUnsupported(t, b.Name(), "budget", err)
+			return
+		}
+		// A microsecond budget is below any real compilation: a
+		// budget-honouring backend must report TimedOut, not an error and
+		// not a silently complete result (the solverref timeout path).
+		res, err := b.Compile(ctx, compiler.Target{}, Circuit(),
+			compiler.Options{Seed: 11, BudgetSeconds: 1e-6})
+		if err != nil {
+			t.Fatalf("backend %q errored on an exhausted budget: %v", b.Name(), err)
+		}
+		if !res.TimedOut {
+			t.Errorf("backend %q completed a 1us budget without TimedOut", b.Name())
+		}
+		if res.Program != nil {
+			t.Errorf("backend %q attached a program witness to a timed-out result", b.Name())
+		}
+	})
+
+	t.Run("zoned-target", func(t *testing.T) {
+		tgt := compiler.Zoned(hardware.ZonesFor(Circuit().N))
+		if !caps.Zoned {
+			_, err := b.Compile(ctx, tgt, Circuit(), compiler.Options{Seed: 11})
+			wantUnsupported(t, b.Name(), "zoned-target", err)
+			return
+		}
+		res, err := b.Compile(ctx, tgt, Circuit(), compiler.Options{Seed: 11})
+		if err != nil {
+			t.Fatalf("backend %q rejected its declared zoned target: %v", b.Name(), err)
+		}
+		if err := VerifyResult(Circuit(), res); err != nil {
+			t.Errorf("backend %q on explicit zoned target: %v", b.Name(), err)
+		}
+	})
+}
+
+// maxSimQubits bounds the witness width the verifier will replay; the dense
+// simulator is practical well past this, but conformance circuits are sized
+// to stay under it for every backend.
+const maxSimQubits = 22
+
+// VerifyResult replays a compilation's program witness through the
+// state-vector simulator and checks it is semantically equivalent to the
+// source circuit up to the routing permutation: executing the witness on
+// |0...0> must equal the source's output state embedded at the witness's
+// final placement (all non-data slots back in |0>). It returns nil for a
+// faithful compilation and a descriptive error otherwise.
+func VerifyResult(src *circuit.Circuit, res *compiler.Result) error {
+	p := res.Program
+	if p == nil {
+		return errors.New("completed result carries no program witness")
+	}
+	if p.NSlots < src.N {
+		return fmt.Errorf("witness register (%d slots) narrower than the source (%d qubits)", p.NSlots, src.N)
+	}
+	if p.NSlots > maxSimQubits {
+		return fmt.Errorf("witness register %d slots wide; verifier handles at most %d", p.NSlots, maxSimQubits)
+	}
+	if len(p.FinalSlot) != src.N {
+		return fmt.Errorf("final placement covers %d qubits, want %d", len(p.FinalSlot), src.N)
+	}
+	seen := make([]bool, p.NSlots)
+	for q, s := range p.FinalSlot {
+		if s < 0 || s >= p.NSlots {
+			return fmt.Errorf("qubit %d placed at slot %d, outside [0,%d)", q, s, p.NSlots)
+		}
+		if seen[s] {
+			return fmt.Errorf("two qubits placed at slot %d", s)
+		}
+		seen[s] = true
+	}
+	got := sim.NewState(p.NSlots)
+	for i, g := range p.Gates {
+		if g.Q0 < 0 || g.Q0 >= p.NSlots || (g.IsTwoQubit() && (g.Q1 < 0 || g.Q1 >= p.NSlots)) {
+			return fmt.Errorf("witness gate %d (%v) addresses a slot outside [0,%d)", i, g, p.NSlots)
+		}
+		got.Apply(g)
+	}
+	want := sim.NewState(src.N)
+	want.Run(src)
+	expected := want.Embed(p.NSlots, p.FinalSlot)
+	if f := sim.Fidelity(got, expected); f < 1-1e-7 {
+		return fmt.Errorf("witness not equivalent to source: fidelity %v (%d gates, %d slots)",
+			f, len(p.Gates), p.NSlots)
+	}
+	return nil
+}
+
+// RandomCircuit returns one random circuit over n qubits mixing Clifford
+// gates, rotations, and native ZZ interactions — the gate distribution every
+// semantic property test in this repository draws from, exported so they
+// cannot drift apart.
+func RandomCircuit(rng *rand.Rand, n, gates int) *circuit.Circuit {
+	c := circuit.New(n)
+	for i := 0; i < gates; i++ {
+		switch rng.Intn(8) {
+		case 0:
+			c.H(rng.Intn(n))
+		case 1:
+			c.X(rng.Intn(n))
+		case 2:
+			c.RZ(rng.Intn(n), rng.Float64()*6)
+		case 3:
+			c.RX(rng.Intn(n), rng.Float64()*6)
+		case 4, 5:
+			a, b := pick2(n, rng)
+			c.CX(a, b)
+		case 6:
+			a, b := pick2(n, rng)
+			c.CZ(a, b)
+		case 7:
+			a, b := pick2(n, rng)
+			c.ZZ(a, b, rng.Float64()*6)
+		}
+	}
+	return c
+}
+
+// DifferentialCircuits returns the shared random-circuit corpus of the
+// differential verification: count circuits over 4..maxQubits qubits,
+// generated deterministically from seed.
+func DifferentialCircuits(seed int64, count, maxQubits int) []*circuit.Circuit {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]*circuit.Circuit, count)
+	for i := range out {
+		n := 4 + rng.Intn(maxQubits-3)
+		out[i] = RandomCircuit(rng, n, 10+rng.Intn(40))
+	}
+	return out
+}
+
+func pick2(n int, rng *rand.Rand) (int, int) {
+	a := rng.Intn(n)
+	b := rng.Intn(n - 1)
+	if b >= a {
+		b++
+	}
+	return a, b
+}
+
+// RunDifferential is the simulator-backed differential verification: it
+// compiles every corpus circuit through backend b (auto target, per-circuit
+// seeds) and replays each witness against the source. Any semantic drift a
+// backend introduces — dropped gates, a wrong decomposition, a bad final
+// mapping — fails here with the offending circuit index.
+func RunDifferential(t *testing.T, b compiler.Backend, circuits []*circuit.Circuit) {
+	t.Helper()
+	for i, c := range circuits {
+		res, err := b.Compile(context.Background(), compiler.Target{}, c,
+			compiler.Options{Seed: int64(100 + i)})
+		if err != nil {
+			t.Fatalf("circuit %d (%d qubits, %d gates): %v", i, c.N, len(c.Gates), err)
+		}
+		if res.TimedOut {
+			t.Fatalf("circuit %d: unexpected timeout with default budget", i)
+		}
+		if err := VerifyResult(c, res); err != nil {
+			t.Errorf("circuit %d (%d qubits, %d gates): %v", i, c.N, len(c.Gates), err)
+		}
+	}
 }

@@ -10,15 +10,32 @@ import (
 )
 
 // TestRegisteredBackendsConform runs the shared contract suite against every
-// backend in the registry — currently the five built-ins, and automatically
+// backend in the registry — currently the six built-ins, and automatically
 // any future registration.
 func TestRegisteredBackendsConform(t *testing.T) {
 	backends := compiler.List()
-	if len(backends) < 5 {
-		t.Fatalf("registry has %d backends, want at least the 5 built-ins: %v",
+	if len(backends) < 6 {
+		t.Fatalf("registry has %d backends, want at least the 6 built-ins: %v",
 			len(backends), compiler.Names())
 	}
 	for _, b := range backends {
 		t.Run(b.Name(), func(t *testing.T) { conformance.Run(t, b) })
+	}
+}
+
+// TestConformanceDifferential is the simulator-backed differential
+// verification across every registered backend: one shared corpus of 50
+// random circuits (up to 12 qubits), each compiled by each backend and
+// replayed through internal/sim against its source. Before this suite, only
+// the core pipeline had semantic-equivalence coverage; now it is a registry
+// contract.
+func TestConformanceDifferential(t *testing.T) {
+	circuits := conformance.DifferentialCircuits(42, 50, 12)
+	for _, b := range compiler.List() {
+		b := b
+		t.Run(b.Name(), func(t *testing.T) {
+			t.Parallel()
+			conformance.RunDifferential(t, b, circuits)
+		})
 	}
 }

@@ -1,0 +1,96 @@
+package compiler
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"atomique/internal/hardware"
+)
+
+// FuzzTargetJSON asserts the Target decoder's contract on arbitrary JSON —
+// the bytes the compile service accepts in requests and hashes into cache
+// keys. Decoding either fails cleanly or yields a Target whose Validate
+// never panics; a Target that validates must also materialise its machine
+// without error and survive a marshal/unmarshal round trip that validates
+// and materialises identically (the premise of the service's canonical-JSON
+// cache keying). The zone-geometry payload (KindZoned) is the newest
+// decoder surface; its seeds cover valid, oversized, and negative
+// geometries.
+func FuzzTargetJSON(f *testing.F) {
+	seed := func(t Target) {
+		js, err := json.Marshal(t)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(js))
+	}
+	seed(Target{})
+	seed(FPQA(hardware.DefaultConfig()))
+	seed(Coupling(FamilyTriangular, 16))
+	seed(CouplingWithParams(FamilyLongRange, 0, hardware.Superconducting()))
+	seed(Zoned(hardware.DefaultZones()))
+	seed(Zoned(hardware.ZonesFor(200)))
+	seed(ZonedWithParams(hardware.ZonesFor(8), hardware.NeutralAtom()))
+	for _, s := range []string{
+		`{"kind":"zoned"}`,
+		`{"kind":"zoned","zoned":{"geometry":{}}}`,
+		`{"kind":"zoned","zoned":{"geometry":{"storageRows":-1,"storageCols":4,"entangleSites":2,"zoneGap":6e-05,"shuttleSpeed":0.55}}}`,
+		`{"kind":"zoned","zoned":{"geometry":{"storageRows":99999999,"storageCols":99999999,"entangleSites":1,"zoneGap":1,"shuttleSpeed":1}}}`,
+		`{"kind":"zoned","fpqa":{}}`,
+		`{"kind":"fpqa","zoned":{"geometry":{}}}`,
+		`{"kind":"nope"}`,
+		`{"kind":"coupling","coupling":{"family":"hexagonal"}}`,
+		`{`,
+		`null`,
+		`[]`,
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		var tgt Target
+		if err := json.Unmarshal([]byte(src), &tgt); err != nil {
+			return
+		}
+		if err := tgt.Validate(); err != nil {
+			return
+		}
+		// A validated target materialises without error.
+		switch tgt.Kind {
+		case KindFPQA, KindAuto:
+			if _, err := tgt.Hardware(8); err != nil {
+				t.Fatalf("valid %s target failed to materialise a machine: %v", tgt.Kind, err)
+			}
+		}
+		switch tgt.Kind {
+		case KindCoupling, KindAuto:
+			if _, err := tgt.Arch(8, FamilyRectangular); err != nil {
+				t.Fatalf("valid %s target failed to materialise an arch: %v", tgt.Kind, err)
+			}
+		}
+		if tgt.Kind == KindZoned || tgt.Kind == KindAuto {
+			geo, _, err := tgt.ZoneSetup(8)
+			if err != nil {
+				t.Fatalf("valid %s target failed to materialise zones: %v", tgt.Kind, err)
+			}
+			if err := geo.Validate(); err != nil {
+				t.Fatalf("materialised zone geometry invalid: %v", err)
+			}
+		}
+		// Round trip: canonical JSON re-decodes to an equal, valid target.
+		js, err := json.Marshal(tgt)
+		if err != nil {
+			t.Fatalf("valid target failed to marshal: %v", err)
+		}
+		var rt Target
+		if err := json.Unmarshal(js, &rt); err != nil {
+			t.Fatalf("canonical JSON failed to decode: %v\n%s", err, js)
+		}
+		if err := rt.Validate(); err != nil {
+			t.Fatalf("round-tripped target invalid: %v\n%s", err, js)
+		}
+		if !reflect.DeepEqual(tgt, rt) {
+			t.Fatalf("round trip changed the target:\nbefore: %+v\nafter:  %+v", tgt, rt)
+		}
+	})
+}

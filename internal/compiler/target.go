@@ -21,6 +21,10 @@ const (
 	// KindCoupling is a fixed-topology device described by a coupling-graph
 	// family (arch.Arch).
 	KindCoupling Kind = "coupling"
+	// KindZoned is a zoned neutral-atom machine: storage, Rydberg-entangling,
+	// and readout zones with inter-zone atom shuttling
+	// (hardware.ZoneGeometry).
+	KindZoned Kind = "zoned"
 )
 
 // Coupling-graph families for KindCoupling targets, matching the paper's
@@ -51,14 +55,25 @@ type CouplingSpec struct {
 	Params *hardware.Params `json:"params,omitempty"`
 }
 
+// ZonedSpec describes a zoned neutral-atom machine: the zone geometry plus
+// an optional physical-parameter override (nil keeps the Table I neutral-atom
+// constants, like CouplingSpec).
+type ZonedSpec struct {
+	// Geometry is the storage/entangling/readout zone layout.
+	Geometry hardware.ZoneGeometry `json:"geometry"`
+	// Params overrides the default physical parameters when set.
+	Params *hardware.Params `json:"params,omitempty"`
+}
+
 // Target is a validated, JSON-serializable device description that unifies
-// the repository's two machine models: reconfigurable FPQA arrays
-// (hardware.Config) and fixed-atom coupling graphs (arch.Arch). Exactly the
-// field matching Kind is set.
+// the repository's three machine models: reconfigurable FPQA arrays
+// (hardware.Config), fixed-atom coupling graphs (arch.Arch), and zoned atom
+// arrays (hardware.ZoneGeometry). Exactly the field matching Kind is set.
 type Target struct {
 	Kind     Kind             `json:"kind,omitempty"`
 	FPQA     *hardware.Config `json:"fpqa,omitempty"`
 	Coupling *CouplingSpec    `json:"coupling,omitempty"`
+	Zoned    *ZonedSpec       `json:"zoned,omitempty"`
 }
 
 // FPQA wraps a reconfigurable-array machine description as a Target.
@@ -78,12 +93,22 @@ func CouplingWithParams(family string, qubits int, p hardware.Params) Target {
 	return Target{Kind: KindCoupling, Coupling: &CouplingSpec{Family: family, Qubits: qubits, Params: &p}}
 }
 
+// Zoned wraps a zoned-machine geometry as a Target.
+func Zoned(geo hardware.ZoneGeometry) Target {
+	return Target{Kind: KindZoned, Zoned: &ZonedSpec{Geometry: geo}}
+}
+
+// ZonedWithParams is Zoned with a physical-parameter override.
+func ZonedWithParams(geo hardware.ZoneGeometry, p hardware.Params) Target {
+	return Target{Kind: KindZoned, Zoned: &ZonedSpec{Geometry: geo, Params: &p}}
+}
+
 // Validate checks structural consistency: the kind is known, exactly the
 // matching payload is present, and the payload itself is sensible.
 func (t Target) Validate() error {
 	switch t.Kind {
 	case KindAuto:
-		if t.FPQA != nil || t.Coupling != nil {
+		if t.FPQA != nil || t.Coupling != nil || t.Zoned != nil {
 			return fmt.Errorf("compiler: auto target must not carry a device payload")
 		}
 		return nil
@@ -91,16 +116,24 @@ func (t Target) Validate() error {
 		if t.FPQA == nil {
 			return fmt.Errorf("compiler: fpqa target missing machine description")
 		}
-		if t.Coupling != nil {
-			return fmt.Errorf("compiler: fpqa target must not carry a coupling spec")
+		if t.Coupling != nil || t.Zoned != nil {
+			return fmt.Errorf("compiler: fpqa target must not carry another device payload")
 		}
 		return t.FPQA.Validate()
+	case KindZoned:
+		if t.Zoned == nil {
+			return fmt.Errorf("compiler: zoned target missing zone geometry")
+		}
+		if t.FPQA != nil || t.Coupling != nil {
+			return fmt.Errorf("compiler: zoned target must not carry another device payload")
+		}
+		return t.Zoned.Geometry.Validate()
 	case KindCoupling:
 		if t.Coupling == nil {
 			return fmt.Errorf("compiler: coupling target missing spec")
 		}
-		if t.FPQA != nil {
-			return fmt.Errorf("compiler: coupling target must not carry an fpqa machine")
+		if t.FPQA != nil || t.Zoned != nil {
+			return fmt.Errorf("compiler: coupling target must not carry another device payload")
 		}
 		if t.Coupling.Qubits < 0 {
 			return fmt.Errorf("compiler: coupling qubit count %d negative", t.Coupling.Qubits)
@@ -129,6 +162,28 @@ func (t Target) Hardware(nQubits int) (hardware.Config, error) {
 		return *t.FPQA, nil
 	default:
 		return hardware.Config{}, fmt.Errorf("compiler: %s target is not an FPQA machine", t.Kind)
+	}
+}
+
+// ZoneSetup materialises the target as a zoned machine: the zone geometry
+// plus the physical parameters it runs with. nQubits sizes the default
+// geometry for auto targets.
+func (t Target) ZoneSetup(nQubits int) (hardware.ZoneGeometry, hardware.Params, error) {
+	switch t.Kind {
+	case KindAuto:
+		return hardware.ZonesFor(nQubits), hardware.NeutralAtom(), nil
+	case KindZoned:
+		if err := t.Validate(); err != nil {
+			return hardware.ZoneGeometry{}, hardware.Params{}, err
+		}
+		p := hardware.NeutralAtom()
+		if t.Zoned.Params != nil {
+			p = *t.Zoned.Params
+		}
+		return t.Zoned.Geometry, p, nil
+	default:
+		return hardware.ZoneGeometry{}, hardware.Params{},
+			fmt.Errorf("compiler: %s target is not a zoned machine", t.Kind)
 	}
 }
 
@@ -180,6 +235,13 @@ func (t Target) String() string {
 			return "fpqa(?)"
 		}
 		return fmt.Sprintf("fpqa(%dx%d SLM + %d AODs)", t.FPQA.SLM.Rows, t.FPQA.SLM.Cols, len(t.FPQA.AODs))
+	case KindZoned:
+		if t.Zoned == nil {
+			return "zoned(?)"
+		}
+		g := t.Zoned.Geometry
+		return fmt.Sprintf("zoned(%dx%d storage + %d gate sites)",
+			g.StorageRows, g.StorageCols, g.EntangleSites)
 	case KindCoupling:
 		if t.Coupling == nil {
 			return "coupling(?)"

@@ -48,6 +48,7 @@ func All() []Experiment {
 		{"fig25", "Fig 25: additional CNOTs from SWAP insertion", Fig25},
 		{"ablation", "Ablations: gamma decay, SABRE lookahead, reverse passes", Ablations},
 		{"scaling", "Scaling: compile time vs circuit size", Scaling},
+		{"zoned", "Zoned vs flat FPQA comparison (ZAP-style scenario)", ZonedVsFlat},
 	}
 }
 

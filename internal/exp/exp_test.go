@@ -171,3 +171,21 @@ func TestFig24Shape(t *testing.T) {
 		last[bench] = overlaps
 	}
 }
+
+func TestZonedVsFlatShape(t *testing.T) {
+	ts := ZonedVsFlat()
+	if len(ts) != 1 {
+		t.Fatalf("ZonedVsFlat returned %d tables", len(ts))
+	}
+	if got, want := len(ts[0].Rows), len(zonedSuite())+1; got != want {
+		t.Fatalf("rows = %d, want %d benchmarks + gmean", got, want)
+	}
+	// The zoned scenario's signature: no SWAP CNOTs on the zoned column
+	// while every compilation produces a positive fidelity.
+	for i, b := range zonedSuite() {
+		row := ts[0].Rows[i]
+		if row[4] != "0" {
+			t.Errorf("%s: zoned +CNOT = %v, want 0", b.Name, row[4])
+		}
+	}
+}

@@ -45,6 +45,12 @@ type Result struct {
 	Routed2Q int
 	// SwapCount is the number of SWAPs routing inserted (each three CX).
 	SwapCount int
+	// Routed is the physical circuit block synthesis starts from, over the
+	// device's qubits, and FinalMapping maps logical qubit -> physical qubit
+	// after execution. Blocking only regroups this stream into pulses, so it
+	// is the execution witness the backend verification replays.
+	Routed       *circuit.Circuit
+	FinalMapping []int
 }
 
 // Compile routes circ onto the triangular FAA and blocks the physical
@@ -62,10 +68,12 @@ func CompileOn(a arch.Arch, circ *circuit.Circuit, seed int64) (Result, error) {
 	res := sabre.Route(circ, a.Coupling, sabre.Options{Seed: seed})
 	blocks := BlockCountOn(res.Routed, a.Coupling)
 	return Result{
-		Blocks:    blocks,
-		Pulses:    blocks * PulsesPerBlock,
-		Routed2Q:  res.Routed.Num2Q(),
-		SwapCount: res.SwapCount,
+		Blocks:       blocks,
+		Pulses:       blocks * PulsesPerBlock,
+		Routed2Q:     res.Routed.Num2Q(),
+		SwapCount:    res.SwapCount,
+		Routed:       res.Routed,
+		FinalMapping: res.FinalMapping,
 	}, nil
 }
 

@@ -1,0 +1,100 @@
+package hardware
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDefaultZonesValid(t *testing.T) {
+	if err := DefaultZones().Validate(); err != nil {
+		t.Fatalf("default zones invalid: %v", err)
+	}
+}
+
+func TestZonesForGrows(t *testing.T) {
+	cases := []struct {
+		n, side int
+	}{
+		{0, 10}, {1, 10}, {100, 10}, {101, 11}, {150, 13}, {400, 20},
+	}
+	for _, tc := range cases {
+		z := ZonesFor(tc.n)
+		if z.StorageRows != tc.side || z.StorageCols != tc.side {
+			t.Errorf("ZonesFor(%d) storage = %dx%d, want %dx%d",
+				tc.n, z.StorageRows, z.StorageCols, tc.side, tc.side)
+		}
+		if z.StorageCapacity() < tc.n {
+			t.Errorf("ZonesFor(%d) capacity %d too small", tc.n, z.StorageCapacity())
+		}
+		if err := z.Validate(); err != nil {
+			t.Errorf("ZonesFor(%d) invalid: %v", tc.n, err)
+		}
+	}
+}
+
+func TestZoneValidateRejects(t *testing.T) {
+	base := DefaultZones()
+	mutate := map[string]func(*ZoneGeometry){
+		"zero rows":      func(z *ZoneGeometry) { z.StorageRows = 0 },
+		"negative cols":  func(z *ZoneGeometry) { z.StorageCols = -3 },
+		"huge rows":      func(z *ZoneGeometry) { z.StorageRows = maxZoneDim + 1 },
+		"no gate sites":  func(z *ZoneGeometry) { z.EntangleSites = 0 },
+		"huge sites":     func(z *ZoneGeometry) { z.EntangleSites = maxZoneDim + 1 },
+		"zero gap":       func(z *ZoneGeometry) { z.ZoneGap = 0 },
+		"nan gap":        func(z *ZoneGeometry) { z.ZoneGap = math.NaN() },
+		"inf gap":        func(z *ZoneGeometry) { z.ZoneGap = math.Inf(1) },
+		"negative rgap":  func(z *ZoneGeometry) { z.ReadoutGap = -1 },
+		"nan rgap":       func(z *ZoneGeometry) { z.ReadoutGap = math.NaN() },
+		"zero speed":     func(z *ZoneGeometry) { z.ShuttleSpeed = 0 },
+		"negative speed": func(z *ZoneGeometry) { z.ShuttleSpeed = -0.5 },
+	}
+	for name, fn := range mutate {
+		z := base
+		fn(&z)
+		if err := z.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", name, z)
+		}
+	}
+}
+
+func TestStorageSiteOrder(t *testing.T) {
+	z := DefaultZones()
+	if s := z.StorageSite(0); s.Row != 0 || s.Col != 0 {
+		t.Errorf("slot 0 at %v, want row 0 col 0", s)
+	}
+	if s := z.StorageSite(z.StorageCols); s.Row != 1 || s.Col != 0 {
+		t.Errorf("slot %d at %v, want row 1 col 0", z.StorageCols, s)
+	}
+}
+
+func TestShuttleDistancesMonotone(t *testing.T) {
+	z := DefaultZones()
+	p := NeutralAtom()
+	// Farther storage rows shuttle farther to the same gate site.
+	near := z.ShuttleDistance(Site{Row: 0, Col: 4}, 4, p)
+	far := z.ShuttleDistance(Site{Row: 5, Col: 4}, 4, p)
+	if near >= far {
+		t.Errorf("row 0 distance %g not below row 5 distance %g", near, far)
+	}
+	if near < z.ZoneGap {
+		t.Errorf("distance %g below the zone gap %g", near, z.ZoneGap)
+	}
+	// Readout crosses both gaps.
+	if d := z.ReadoutDistance(Site{Row: 0}, p); d != z.ZoneGap+z.ReadoutGap {
+		t.Errorf("readout distance %g, want %g", d, z.ZoneGap+z.ReadoutGap)
+	}
+}
+
+func TestShuttleTimeFloor(t *testing.T) {
+	z := DefaultZones()
+	p := NeutralAtom()
+	// A short hop is floored at the per-move time; a long transport runs at
+	// the shuttle speed.
+	if got := z.ShuttleTime(1e-6, p); got != p.TimePerMove {
+		t.Errorf("short shuttle time %g, want floor %g", got, p.TimePerMove)
+	}
+	d := 1e-3
+	if got, want := z.ShuttleTime(d, p), d/z.ShuttleSpeed; math.Abs(got-want) > 1e-12 {
+		t.Errorf("long shuttle time %g, want %g", got, want)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"atomique/internal/bench"
 	"atomique/internal/circuit"
 )
 
@@ -28,6 +29,16 @@ func FuzzParse(f *testing.F) {
 			f.Fatal(err)
 		}
 		f.Add(string(src))
+	}
+	// The generated half of the regression corpus (internal/regress), so the
+	// fuzzer starts from every circuit family the golden snapshots compile:
+	// big registers, rzz-heavy QAOA layers, and dense QV permutations.
+	for _, c := range []*circuit.Circuit{
+		bench.QAOARegular(40, 5, 15),
+		bench.QV(32, 32, 3),
+		bench.BV(50, 22, 4),
+	} {
+		f.Add(String(c))
 	}
 	for _, seed := range []string{
 		"",

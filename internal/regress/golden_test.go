@@ -4,7 +4,8 @@
 // compiler backends and diffs the canonical result envelope (report.Envelope
 // with wall times zeroed) against checked-in goldens. The full corpus runs
 // on the default "atomique" backend; the QASM files additionally run on the
-// "qpilot" baseline so baseline output is snapshot-protected too. Any
+// "qpilot" and "zoned" backends so non-core output is snapshot-protected
+// too. Any
 // refactor that changes compile output, however subtly, shows up as a
 // reviewable JSON diff. Refresh the goldens after an intentional change with
 //
@@ -145,6 +146,22 @@ func TestGoldenQpilot(t *testing.T) {
 		t.Run(e.name, func(t *testing.T) {
 			got := compileCanonical(t, "qpilot", e.circ)
 			checkGolden(t, filepath.Join("testdata", "qpilot-"+e.name+".golden.json"), got)
+		})
+	}
+}
+
+// TestGoldenZoned snapshots the zoned backend on the QASM corpus: the
+// shuttle-round schedule, transfer accounting, and zoned fidelity model are
+// regression-protected alongside the flat pipeline. Refresh with -update
+// after an intentional model change.
+func TestGoldenZoned(t *testing.T) {
+	for _, e := range corpus(t) {
+		if !e.qasm {
+			continue
+		}
+		t.Run(e.name, func(t *testing.T) {
+			got := compileCanonical(t, "zoned", e.circ)
+			checkGolden(t, filepath.Join("testdata", "zoned-"+e.name+".golden.json"), got)
 		})
 	}
 }

@@ -8,6 +8,9 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"atomique/internal/compiler"
+	"atomique/internal/hardware"
 )
 
 func newTestServer(t *testing.T, cfg Config) (*Engine, *httptest.Server) {
@@ -351,7 +354,7 @@ func TestHTTPBackendsEndpoint(t *testing.T) {
 	if resp := getJSON(t, srv.URL+"/v1/backends", &infos); resp.StatusCode != http.StatusOK {
 		t.Fatalf("backends status = %d", resp.StatusCode)
 	}
-	want := map[string]bool{"atomique": false, "geyser": false, "qpilot": false, "sabre": false, "solverref": false}
+	want := map[string]bool{"atomique": false, "geyser": false, "qpilot": false, "sabre": false, "solverref": false, "zoned": false}
 	defaults := 0
 	for _, b := range infos {
 		if _, ok := want[b.Name]; ok {
@@ -366,7 +369,7 @@ func TestHTTPBackendsEndpoint(t *testing.T) {
 		if b.Capabilities.Description == "" {
 			t.Errorf("backend %q has no description", b.Name)
 		}
-		if !b.Capabilities.FPQA && !b.Capabilities.Coupling {
+		if !b.Capabilities.FPQA && !b.Capabilities.Coupling && !b.Capabilities.Zoned {
 			t.Errorf("backend %q advertises no target kind", b.Name)
 		}
 	}
@@ -438,6 +441,66 @@ func TestHTTPBackendSelection(t *testing.T) {
 	}
 	if resp, _ := postJSON(t, srv.URL+"/v1/compile", Request{QASM: ghzQASM, Backend: "sabre", Family: "hexagonal"}); resp.StatusCode != http.StatusBadRequest {
 		t.Errorf("bad family status = %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestHTTPZonedBackend exercises the zoned backend end to end: the auto
+// target compiles, a zone-geometry override threads through, and mismatched
+// requests are structured 400s (including options outside the backend's
+// declared capabilities).
+func TestHTTPZonedBackend(t *testing.T) {
+	_, srv := newTestServer(t, Config{Workers: 2})
+
+	resp, body := postJSON(t, srv.URL+"/v1/compile", Request{QASM: ghzQASM, Backend: "zoned", Seed: 3})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("zoned status = %d, body %s", resp.StatusCode, body)
+	}
+	var j Job
+	if err := json.Unmarshal(body, &j); err != nil {
+		t.Fatal(err)
+	}
+	var env struct {
+		Backend string `json:"backend"`
+		Metrics struct {
+			Arch       string `json:"arch"`
+			MoveStages int    `json:"moveStages"`
+		} `json:"metrics"`
+	}
+	if err := json.Unmarshal(j.Result, &env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Backend != "zoned" || env.Metrics.Arch != "Zoned-FPQA" {
+		t.Errorf("envelope = %+v, want zoned/Zoned-FPQA", env)
+	}
+	if env.Metrics.MoveStages == 0 {
+		t.Error("zoned compile reported no shuttle stages")
+	}
+
+	// Zone-geometry override threads through (and alters the cache key: a
+	// one-gate-site machine serialises the rounds).
+	zones := compiler.ZonedSpec{Geometry: hardware.ZonesFor(4)}
+	zones.Geometry.EntangleSites = 1
+	resp, body = postJSON(t, srv.URL+"/v1/compile", Request{QASM: ghzQASM, Backend: "zoned", Zones: &zones})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("zoned+zones status = %d, body %s", resp.StatusCode, body)
+	}
+
+	// Mismatches: machine/family flags on zoned, zones on non-zoned, an
+	// invalid geometry, an undersized storage zone, and an undeclared
+	// option.
+	for name, req := range map[string]Request{
+		"zoned+slm":      {QASM: ghzQASM, Backend: "zoned", SLM: 8},
+		"zoned+family":   {QASM: ghzQASM, Backend: "zoned", Family: "triangular"},
+		"atomique+zones": {QASM: ghzQASM, Backend: "atomique", Zones: &compiler.ZonedSpec{Geometry: hardware.DefaultZones()}},
+		"bad geometry":   {QASM: ghzQASM, Backend: "zoned", Zones: &compiler.ZonedSpec{Geometry: hardware.ZoneGeometry{StorageRows: -1}}},
+		"tiny storage": {QASM: ghzQASM, Backend: "zoned", Zones: &compiler.ZonedSpec{
+			Geometry: hardware.ZoneGeometry{StorageRows: 1, StorageCols: 2, EntangleSites: 1,
+				ZoneGap: 60e-6, ShuttleSpeed: 0.55}}},
+		"zoned+exact": {QASM: ghzQASM, Backend: "zoned", Exact: true},
+	} {
+		if resp, body := postJSON(t, srv.URL+"/v1/compile", req); resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s status = %d, want 400 (body %s)", name, resp.StatusCode, body)
+		}
 	}
 }
 

@@ -109,6 +109,10 @@ type Request struct {
 	AODs    int    `json:"aods,omitempty"`    // number of AOD arrays (FPQA backends)
 	AODSize int    `json:"aodSize,omitempty"` // AOD side length (FPQA backends)
 	Family  string `json:"family,omitempty"`  // coupling family (fixed-topology backends)
+	// Zones overrides the zone geometry (and optionally the physical
+	// parameters) for zoned backends; unset selects the backend's default
+	// machine grown to fit the circuit.
+	Zones *compiler.ZonedSpec `json:"zones,omitempty"`
 }
 
 // State is a job's lifecycle phase.
@@ -368,6 +372,12 @@ func (e *Engine) resolve(req Request) (task, error) {
 	if err := opts.ApplyRelax(req.Relax); err != nil {
 		return task{}, &RequestError{Msg: err.Error()}
 	}
+	// Options outside the backend's declared capabilities (exact/budget on a
+	// non-solver backend) are a client error, caught here rather than as a
+	// failed job.
+	if err := compiler.CheckSupport(be.Name(), be.Capabilities(), tgt, opts); err != nil {
+		return task{}, &RequestError{Msg: err.Error()}
+	}
 
 	return task{
 		label:   label,
@@ -388,7 +398,29 @@ func (e *Engine) resolve(req Request) (task, error) {
 func (e *Engine) resolveTarget(be compiler.Backend, req Request, circ *circuit.Circuit) (compiler.Target, error) {
 	caps := be.Capabilities()
 	hasMachine := req.SLM != 0 || req.AODs != 0 || req.AODSize != 0
+	if req.Zones != nil && !caps.Zoned {
+		return compiler.Target{}, &RequestError{
+			Msg: fmt.Sprintf("backend %q does not compile zoned machines; zones applies only to zoned backends", be.Name())}
+	}
 	switch {
+	case caps.Zoned:
+		if hasMachine || req.Family != "" {
+			return compiler.Target{}, &RequestError{
+				Msg: fmt.Sprintf("backend %q compiles zoned machines; use zones instead of slm/aods/aodSize/family", be.Name())}
+		}
+		if req.Zones == nil {
+			return compiler.Target{}, nil // backend's default zones, grown to fit
+		}
+		tgt := compiler.Target{Kind: compiler.KindZoned, Zoned: req.Zones}
+		if err := tgt.Validate(); err != nil {
+			return compiler.Target{}, &RequestError{Msg: err.Error()}
+		}
+		if circ.N > req.Zones.Geometry.StorageCapacity() {
+			return compiler.Target{}, &RequestError{
+				Msg: fmt.Sprintf("circuit needs %d qubits, storage zone has %d sites",
+					circ.N, req.Zones.Geometry.StorageCapacity())}
+		}
+		return tgt, nil
 	case caps.FPQA:
 		if req.Family != "" {
 			return compiler.Target{}, &RequestError{

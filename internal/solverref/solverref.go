@@ -68,6 +68,13 @@ func (o Options) withDefaults() Options {
 type Result struct {
 	Metrics  metrics.Compiled
 	TimedOut bool
+	// Routed is the physical circuit the stage scheduler executes (over the
+	// partition's slot register), and FinalSlotOf maps logical qubit -> slot
+	// after execution. Stage packing only reorders frontier-independent
+	// gates, so this is the execution witness the backend verification
+	// replays. Both are nil when the compilation timed out.
+	Routed      *circuit.Circuit
+	FinalSlotOf []int
 }
 
 // Compile maps and schedules circ on the single-AOD RAA.
@@ -119,11 +126,13 @@ func Compile(circ *circuit.Circuit, opts Options) (Result, error) {
 		next[p]++
 	}
 	var routed *circuit.Circuit
+	finalSlotOf := slotOf
 	swaps := 0
 	if circ.Num2Q() > 0 {
 		res := sabre.Route(circ, graphs.CompleteMultipartite(sizes),
 			sabre.Options{InitialMapping: slotOf, Seed: opts.Seed})
 		routed = res.Routed
+		finalSlotOf = res.FinalMapping
 		swaps = res.SwapCount
 	} else {
 		routed = relabel(circ, slotOf, circ.N)
@@ -167,7 +176,7 @@ func Compile(circ *circuit.Circuit, opts Options) (Result, error) {
 	if sched > 0 {
 		m.AvgMoveDist = stats.totalDist / float64(sched)
 	}
-	return Result{Metrics: m}, nil
+	return Result{Metrics: m, Routed: routed, FinalSlotOf: finalSlotOf}, nil
 }
 
 func relabel(c *circuit.Circuit, slotOf []int, n int) *circuit.Circuit {
