@@ -7,7 +7,7 @@
 //
 //	atomique -bench QAOA-regu5-40 [-backend atomique] [-slm 10] [-aods 2]
 //	         [-aodsize 10] [-serial] [-dense] [-relax 1,2,3] [-schedule]
-//	         [-seed 7]
+//	         [-seed 7] [-noisy] [-shots 5000]
 //	atomique -backend sabre -family triangular -bench QV-32
 //	atomique -backend zoned -bench QV-32 [-zstorage 12] [-zsites 6] [-zgap 80]
 //	atomique -list          # benchmarks
@@ -53,6 +53,10 @@ func main() {
 		relax        = flag.String("relax", "", "comma-separated constraints to relax (1,2,3)")
 		exact        = flag.Bool("exact", false, "solver backends: exact (exponential) mode")
 		budget       = flag.Float64("budget", 0, "solver backends: compile budget in seconds (0 = default)")
+		noisy        = flag.Bool("noisy", false, "run Monte-Carlo trajectory noise estimation after compiling")
+		shots        = flag.Int("shots", 0, "noisy-simulation trajectory count (implies -noisy; 0 with -noisy = 2000)")
+		noiseSeed    = flag.Int64("noiseseed", 0, "noisy-simulation sampling seed")
+		noiseScale   = flag.Float64("noisescale", 0, "multiply every noise-channel probability (0 = 1.0)")
 		schedule     = flag.Bool("schedule", false, "print the movement/gate schedule")
 		vizFlag      = flag.Bool("viz", false, "render placement + stage diagrams")
 		jsonOut      = flag.String("json", "", "export the schedule as JSON to this file ('-' for stdout)")
@@ -214,8 +218,21 @@ func main() {
 		fmt.Fprintln(os.Stderr, "atomique: -budget must be non-negative seconds")
 		os.Exit(1)
 	}
+	if *shots < 0 || *noiseScale < 0 {
+		fmt.Fprintln(os.Stderr, "atomique: -shots and -noisescale must be non-negative")
+		os.Exit(1)
+	}
+	noisyShots := *shots
+	if noisyShots == 0 && *noisy {
+		noisyShots = 2000
+	}
+	if noisyShots == 0 && (*noiseSeed != 0 || *noiseScale != 0) {
+		fmt.Fprintln(os.Stderr, "atomique: -noiseseed/-noisescale need -noisy or -shots")
+		os.Exit(1)
+	}
 	opts := compiler.Options{Seed: *seed, SerialRouter: *serial, DenseMapper: *dense,
-		Exact: *exact, BudgetSeconds: *budget}
+		Exact: *exact, BudgetSeconds: *budget,
+		NoisyShots: noisyShots, NoiseSeed: *noiseSeed, NoiseScale: *noiseScale}
 	if err := opts.ApplyRelax(*relax); err != nil {
 		fmt.Fprintf(os.Stderr, "atomique: bad -relax flag: %v\n", err)
 		os.Exit(1)
@@ -223,6 +240,10 @@ func main() {
 
 	res, err := backend.Compile(context.Background(), tgt, circ.Circ, opts)
 	if err != nil {
+		fmt.Fprintf(os.Stderr, "atomique: %v\n", err)
+		os.Exit(1)
+	}
+	if err := compiler.AttachNoise(context.Background(), tgt, res, opts); err != nil {
 		fmt.Fprintf(os.Stderr, "atomique: %v\n", err)
 		os.Exit(1)
 	}
@@ -283,6 +304,14 @@ func main() {
 		labels := fidelity.Labels()
 		for i, v := range m.Fidelity.NegLog() {
 			fmt.Printf("  -log10 %-18s %.4g\n", labels[i], v)
+		}
+	}
+	if est := res.Noise; est != nil {
+		fmt.Printf("noisy sim        %d shots: fidelity %.4f ± %.4f (95%% CI), survival %.4f, analytic %.4f\n",
+			est.Shots, est.Fidelity, 1.96*est.StdErr, est.Survival, est.Analytic)
+		fmt.Printf("  %d shots with errors, %d atoms lost\n", est.ErrorShots, est.LostShots)
+		for _, c := range est.Channels {
+			fmt.Printf("  channel %-14s p=%.3g x%-6d %d events\n", c.Label, c.Prob, c.Trials, c.Events)
 		}
 	}
 

@@ -22,6 +22,9 @@ func (qpilotBackend) Capabilities() compiler.Capabilities {
 		FPQA:          true,
 		Movement:      true,
 		Deterministic: true,
+		// The witness runs every 2Q term through a flying ancilla: one per
+		// two compute qubits, so ceil(1.5 n) slots.
+		WitnessQubitFactor: 1.5,
 	}
 }
 

@@ -13,10 +13,12 @@ package compiler
 import (
 	"context"
 	"fmt"
+	"math"
 	"strings"
 
 	"atomique/internal/circuit"
 	"atomique/internal/metrics"
+	"atomique/internal/noise"
 )
 
 // Backend is one registered compiler. Implementations must be safe for
@@ -63,6 +65,26 @@ type Capabilities struct {
 	// exploring (e.g. solverref's Exact) are excluded: their metrics depend
 	// on how far the budget reached.
 	Deterministic bool `json:"deterministic"`
+	// WitnessQubitFactor scales circuit width to the execution witness's
+	// register width (0 = 1: the witness adds no ancilla slots on the
+	// backend's canonical device). Q-Pilot's parity ladders run through one
+	// flying ancilla per two compute qubits, factor 1.5. Pre-compile width
+	// checks — the service's noisy-shot resolve guard — use it to reject
+	// trajectory simulations that cannot fit the dense replay before any
+	// compile work is spent.
+	WitnessQubitFactor float64 `json:"witnessQubitFactor,omitempty"`
+}
+
+// WitnessWidth predicts the execution-witness register width for an n-qubit
+// circuit on the backend's canonical device. Explicit device overrides can
+// still exceed it (a fixed 127-qubit heavy-hex target holds any circuit);
+// post-compile checks remain the backstop for those.
+func (c Capabilities) WitnessWidth(n int) int {
+	f := c.WitnessQubitFactor
+	if f < 1 {
+		f = 1
+	}
+	return int(math.Ceil(float64(n) * f))
 }
 
 // Options is the backend-independent option envelope. Backends consume the
@@ -91,6 +113,24 @@ type Options struct {
 	// BudgetSeconds bounds wall-clock compile time for anytime/solver
 	// backends (0 = backend default).
 	BudgetSeconds float64 `json:"budgetSeconds,omitempty"`
+
+	// NoisyShots enables Monte-Carlo trajectory noise estimation after
+	// compilation (0 = off): the execution witness is replayed this many
+	// times under sampled error events and the empirical fidelity rides in
+	// Result.Noise. A post-compilation concern handled by AttachNoise —
+	// drivers (service, CLI, experiments) invoke it; backends ignore the
+	// field. Participates in the service cache key like every option, so
+	// noisy and ideal results never alias.
+	NoisyShots int `json:"noisyShots,omitempty"`
+	// NoiseSeed seeds trajectory sampling, independently of Seed.
+	NoiseSeed int64 `json:"noiseSeed,omitempty"`
+	// NoiseScale multiplies every noise-channel probability (0 = 1.0), for
+	// sensitivity probing.
+	NoiseScale float64 `json:"noiseScale,omitempty"`
+	// Noise1Q / Noise2Q override the hardware-derived per-gate depolarizing
+	// probabilities when positive.
+	Noise1Q float64 `json:"noise1Q,omitempty"`
+	Noise2Q float64 `json:"noise2Q,omitempty"`
 }
 
 // ApplyRelax parses a comma-separated list of constraint IDs ("1", "2", "3",
@@ -203,6 +243,9 @@ type Result struct {
 	// Extra carries backend-specific scalar outputs (e.g. Geyser's block and
 	// pulse counts) that have no slot in the common metrics record.
 	Extra map[string]float64 `json:"extra,omitempty"`
+	// Noise is the empirical fidelity estimate from Monte-Carlo trajectory
+	// simulation, populated by AttachNoise when Options.NoisyShots > 0.
+	Noise *noise.Estimate `json:"noise,omitempty"`
 	// Program is the compiled execution witness the differential
 	// verification replays (nil only when TimedOut). Never serialized.
 	Program *Program `json:"-"`

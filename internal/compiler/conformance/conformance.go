@@ -24,6 +24,7 @@ import (
 	"atomique/internal/compiler"
 	"atomique/internal/hardware"
 	"atomique/internal/metrics"
+	"atomique/internal/noise"
 	"atomique/internal/sim"
 )
 
@@ -241,10 +242,11 @@ func runHonesty(t *testing.T, b compiler.Backend) {
 	})
 }
 
-// maxSimQubits bounds the witness width the verifier will replay; the dense
-// simulator is practical well past this, but conformance circuits are sized
-// to stay under it for every backend.
-const maxSimQubits = 22
+// maxSimQubits bounds the witness width the verifier will replay;
+// conformance circuits are sized to stay under it for every backend. It is
+// the trajectory engine's cap so a witness that verifies here can always be
+// simulated noisily too.
+const maxSimQubits = noise.MaxQubits
 
 // VerifyResult replays a compilation's program witness through the
 // state-vector simulator and checks it is semantically equivalent to the
@@ -343,6 +345,48 @@ func pick2(n int, rng *rand.Rand) (int, int) {
 		b++
 	}
 	return a, b
+}
+
+// RelaxModes enumerates the flat router's constraint-relaxation
+// configurations (Fig 22): each single relaxation plus all three combined.
+func RelaxModes() []struct {
+	Name string
+	Opts compiler.Options
+} {
+	return []struct {
+		Name string
+		Opts compiler.Options
+	}{
+		{"relax-addressing", compiler.Options{RelaxAddressing: true}},
+		{"relax-order", compiler.Options{RelaxOrder: true}},
+		{"relax-overlap", compiler.Options{RelaxOverlap: true}},
+		{"relax-all", compiler.Options{RelaxAddressing: true, RelaxOrder: true, RelaxOverlap: true}},
+	}
+}
+
+// RunRelaxModes is the witness-backed verification of a router's constraint
+// relaxations: every corpus circuit is compiled under each relaxation mode
+// and the resulting program witness replayed against the source. Relaxing a
+// scheduling constraint changes which gates share a stage — it must never
+// change what the program computes, which is exactly what this asserts.
+func RunRelaxModes(t *testing.T, b compiler.Backend, circuits []*circuit.Circuit) {
+	t.Helper()
+	for _, mode := range RelaxModes() {
+		mode := mode
+		t.Run(mode.Name, func(t *testing.T) {
+			for i, c := range circuits {
+				opts := mode.Opts
+				opts.Seed = int64(100 + i)
+				res, err := b.Compile(context.Background(), compiler.Target{}, c, opts)
+				if err != nil {
+					t.Fatalf("circuit %d (%d qubits, %d gates): %v", i, c.N, len(c.Gates), err)
+				}
+				if err := VerifyResult(c, res); err != nil {
+					t.Errorf("circuit %d (%d qubits, %d gates): %v", i, c.N, len(c.Gates), err)
+				}
+			}
+		})
+	}
 }
 
 // RunDifferential is the simulator-backed differential verification: it

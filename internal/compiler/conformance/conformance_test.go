@@ -23,6 +23,20 @@ func TestRegisteredBackendsConform(t *testing.T) {
 	}
 }
 
+// TestRelaxedRouterWitness closes the PR 4 follow-on: the flat router's
+// constraint-relaxation modes (Fig 22) were covered only by metric-level
+// tests; here each mode's output is witness-verified against the source on
+// a shared random corpus, so a relaxation that corrupts gate order or drops
+// an interaction fails semantically, not just statistically.
+func TestRelaxedRouterWitness(t *testing.T) {
+	b, ok := compiler.Lookup("atomique")
+	if !ok {
+		t.Fatal("atomique backend not registered")
+	}
+	circuits := conformance.DifferentialCircuits(43, 12, 10)
+	conformance.RunRelaxModes(t, b, circuits)
+}
+
 // TestConformanceDifferential is the simulator-backed differential
 // verification across every registered backend: one shared corpus of 50
 // random circuits (up to 12 qubits), each compiled by each backend and

@@ -49,6 +49,7 @@ func All() []Experiment {
 		{"ablation", "Ablations: gamma decay, SABRE lookahead, reverse passes", Ablations},
 		{"scaling", "Scaling: compile time vs circuit size", Scaling},
 		{"zoned", "Zoned vs flat FPQA comparison (ZAP-style scenario)", ZonedVsFlat},
+		{"noise", "Noise-model validation: empirical trajectory vs analytic fidelity", NoiseValidation},
 	}
 }
 

@@ -33,6 +33,22 @@ func TestAllRegistryWellFormed(t *testing.T) {
 	}
 }
 
+// TestNoiseValidationTable checks the cross-backend noise table's shape:
+// one row per registered backend in each workload table. The statistical
+// empirical-vs-analytic assertions live in internal/regress (the corpus
+// validation suite); this guards the experiment driver itself.
+func TestNoiseValidationTable(t *testing.T) {
+	ts := NoiseValidation()
+	if len(ts) != 2 {
+		t.Fatalf("NoiseValidation returned %d tables, want 2", len(ts))
+	}
+	for _, tb := range ts {
+		if len(tb.Rows) < 6 {
+			t.Errorf("%s: %d rows, want one per registered backend (>= 6)", tb.Title, len(tb.Rows))
+		}
+	}
+}
+
 func TestTable1(t *testing.T) {
 	ts := Table1()
 	if len(ts) != 1 || len(ts[0].Rows) < 10 {

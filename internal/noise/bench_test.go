@@ -1,0 +1,59 @@
+package noise_test
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"testing"
+
+	"atomique/internal/bench"
+	"atomique/internal/compiler"
+	"atomique/internal/hardware"
+	"atomique/internal/noise"
+
+	_ "atomique/internal/compiler/backends" // register the built-in backends
+)
+
+// BenchmarkNoisyShots measures trajectory throughput over a compiled
+// witness at increasing worker counts — the shot loop is embarrassingly
+// parallel, so shots/s should scale with GOMAXPROCS until memory bandwidth
+// saturates. CI runs it as a smoke test (-benchtime=1x).
+func BenchmarkNoisyShots(b *testing.B) {
+	be, ok := compiler.Lookup("atomique")
+	if !ok {
+		b.Fatal("atomique backend not registered")
+	}
+	circ := bench.QAOARegular(12, 3, 15)
+	res, err := be.Compile(context.Background(), compiler.Target{}, circ, compiler.Options{Seed: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	model := noise.Build(hardware.NeutralAtom(), res.Metrics)
+	w := noise.Witness{NSlots: res.Program.NSlots, Gates: res.Program.Gates}
+
+	const shots = 16384
+	maxWorkers := runtime.GOMAXPROCS(0)
+	for workers := 1; ; workers *= 2 {
+		if workers > maxWorkers {
+			workers = maxWorkers
+		}
+		workers := workers
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				est, err := noise.Simulate(context.Background(), model, w,
+					noise.Run{Shots: shots, Seed: int64(i), Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if est.Analytic <= 0 {
+					b.Fatal("degenerate model")
+				}
+			}
+			b.ReportMetric(float64(shots*b.N)/b.Elapsed().Seconds(), "shots/s")
+		})
+		if workers == maxWorkers {
+			break
+		}
+	}
+}

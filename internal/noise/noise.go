@@ -1,0 +1,192 @@
+// Package noise is the hardware-derived noise-channel library and
+// Monte-Carlo quantum-trajectory engine that empirically validates the
+// analytic fidelity model (internal/fidelity). A compilation's execution
+// witness (the flat gate stream every backend emits) is replayed under
+// sampled error events — depolarizing Pauli noise on Rydberg 2Q gates and 1Q
+// gates, dephasing from decoherence during idling and movement, and atom
+// loss from trap transfers and accumulated vibrational heating — and the
+// trajectory average is compared against the closed-form fidelity the
+// compiler reported.
+//
+// Two estimators come out of a run:
+//
+//   - Survival: the fraction of trajectories with zero sampled error events.
+//     Its expectation is exactly the product of all per-event no-error
+//     probabilities — the same aggregation the analytic model performs — so
+//     it converges to the analytic fidelity and is the quantity the
+//     validation suite asserts against (within binomial confidence bounds).
+//   - Fidelity: the mean state overlap |<ideal|trajectory>|^2. Trajectories
+//     that suffered an error can still overlap the ideal output (a Z error
+//     on a computational-basis qubit is invisible), so Fidelity >= Survival;
+//     the gap quantifies how pessimistic the analytic every-error-is-fatal
+//     model is for a given circuit.
+//
+// Channel probabilities are derived from hardware.Params (per-gate
+// depolarizing from Fidelity1Q/Fidelity2Q) and from the analytic breakdown's
+// movement factors, which carry the zone geometry and heating trace the
+// backend accumulated while scheduling (the per-move n_vib trace is not part
+// of the public backend result, so movement channels enter at the
+// granularity the analytic model aggregated them).
+package noise
+
+import (
+	"math"
+
+	"atomique/internal/hardware"
+	"atomique/internal/metrics"
+)
+
+// Kind classifies what an error event does to a trajectory.
+type Kind int
+
+// Channel kinds.
+const (
+	// Pauli1Q applies a uniform non-identity Pauli after a one-qubit gate.
+	Pauli1Q Kind = iota
+	// Pauli2Q applies a uniform non-identity two-qubit Pauli pair after a
+	// two-qubit interaction (the depolarizing Rydberg-gate channel).
+	Pauli2Q
+	// Dephase applies Z on a uniformly random qubit at a uniformly random
+	// point of the stream (decoherence during idling or movement).
+	Dephase
+	// Loss removes an atom from the register: the trajectory's state is
+	// destroyed and the shot scores fidelity zero, matching the analytic
+	// model's treatment of transfer and heating loss as fatal.
+	Loss
+)
+
+// String names the kind for reports.
+func (k Kind) String() string {
+	switch k {
+	case Pauli1Q:
+		return "pauli1q"
+	case Pauli2Q:
+		return "pauli2q"
+	case Dephase:
+		return "dephase"
+	case Loss:
+		return "loss"
+	}
+	return "unknown"
+}
+
+// Channel is one independent error source: Trials Bernoulli draws at
+// probability Prob per trajectory.
+type Channel struct {
+	Label  string  `json:"label"`
+	Kind   Kind    `json:"-"`
+	Trials int     `json:"trials"`
+	Prob   float64 `json:"prob"`
+}
+
+// Model is the set of independent noise channels a trajectory samples.
+type Model struct {
+	Channels []Channel
+}
+
+// clamp01 bounds a probability-like value to [0, 1].
+func clamp01(v float64) float64 {
+	switch {
+	case v < 0 || math.IsNaN(v):
+		return 0
+	case v > 1:
+		return 1
+	}
+	return v
+}
+
+// Build derives the noise model for one compilation outcome: per-gate
+// depolarizing channels from the hardware's gate fidelities (trial counts
+// from the metrics record, the same counts the analytic model consumed) and
+// — when the backend reported an analytic breakdown — one channel per
+// movement/decoherence factor, at the probability that reproduces that
+// factor. By construction Model.Analytic() then equals the reported
+// FidelityTotal up to float rounding, so trajectory survival validates the
+// analytic pipeline end to end. Backends without a fidelity model (Geyser)
+// get the gate-error channels only, and Analytic() supplies the missing
+// closed-form reference.
+func Build(p hardware.Params, m metrics.Compiled) Model {
+	var mo Model
+	add := func(label string, kind Kind, trials int, prob float64) {
+		prob = clamp01(prob)
+		if trials > 0 && prob > 0 {
+			mo.Channels = append(mo.Channels, Channel{Label: label, Kind: kind, Trials: trials, Prob: prob})
+		}
+	}
+	add("1q-gate", Pauli1Q, m.N1Q, 1-p.Fidelity1Q)
+	add("2q-gate", Pauli2Q, m.N2Q, 1-p.Fidelity2Q)
+	if m.FidelityTotal() <= 0 {
+		return mo
+	}
+	bd := m.Fidelity
+	// The OneQubit/TwoQubit factors mix gate error (handled per gate above)
+	// with idle decoherence; dividing the gate part out — computed from the
+	// exact counts the analytic model used — leaves the pure dephasing
+	// residue.
+	add("1q-idle-deco", Dephase, 1, 1-residual(bd.OneQubit, p.Fidelity1Q, m.N1Q))
+	add("2q-idle-deco", Dephase, 1, 1-residual(bd.TwoQubit, p.Fidelity2Q, m.N2Q))
+	add("transfer", Loss, 1, 1-clamp01(bd.Transfer))
+	add("move-heating", Pauli2Q, 1, 1-clamp01(bd.MoveHeating))
+	add("move-cooling", Pauli2Q, 1, 1-clamp01(bd.MoveCooling))
+	add("move-loss", Loss, 1, 1-clamp01(bd.MoveLoss))
+	add("move-deco", Dephase, 1, 1-clamp01(bd.MoveDeco))
+	return mo
+}
+
+// residual divides the per-gate fidelity contribution f^n out of an analytic
+// factor, leaving the decoherence part.
+func residual(factor, f float64, n int) float64 {
+	gate := math.Pow(f, float64(n))
+	if gate <= 0 {
+		return clamp01(factor)
+	}
+	return clamp01(factor / gate)
+}
+
+// WithGateProbs overrides the per-gate channel probabilities (<= 0 keeps the
+// hardware-derived value). It lets callers probe the model under synthetic
+// error rates without fabricating a hardware.Params.
+func (mo Model) WithGateProbs(p1, p2 float64) Model {
+	out := mo.clone()
+	for i := range out.Channels {
+		switch {
+		case out.Channels[i].Label == "1q-gate" && p1 > 0:
+			out.Channels[i].Prob = clamp01(p1)
+		case out.Channels[i].Label == "2q-gate" && p2 > 0:
+			out.Channels[i].Prob = clamp01(p2)
+		}
+	}
+	return out
+}
+
+// Scaled multiplies every channel probability by scale (clamped to [0,1]);
+// scale <= 0 keeps the model unchanged. It is the knob behind the service's
+// noiseScale option for sensitivity probing.
+func (mo Model) Scaled(scale float64) Model {
+	if scale <= 0 || scale == 1 {
+		return mo
+	}
+	out := mo.clone()
+	for i := range out.Channels {
+		out.Channels[i].Prob = clamp01(out.Channels[i].Prob * scale)
+	}
+	return out
+}
+
+func (mo Model) clone() Model {
+	out := Model{Channels: make([]Channel, len(mo.Channels))}
+	copy(out.Channels, mo.Channels)
+	return out
+}
+
+// Analytic returns the closed-form no-error probability of the model: the
+// product over every channel of (1-p)^trials. For models built from a
+// backend's analytic breakdown this reproduces metrics.FidelityTotal(), and
+// it is the reference the trajectory Survival estimator converges to.
+func (mo Model) Analytic() float64 {
+	f := 1.0
+	for _, c := range mo.Channels {
+		f *= math.Pow(1-c.Prob, float64(c.Trials))
+	}
+	return f
+}

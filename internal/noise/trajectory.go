@@ -1,0 +1,411 @@
+package noise
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"atomique/internal/circuit"
+	"atomique/internal/sim"
+)
+
+// MaxQubits bounds the witness width the trajectory engine will replay,
+// matching the conformance verifier's dense-simulator budget.
+const MaxQubits = 22
+
+// Witness is the executable gate stream a compilation produced — a mirror of
+// compiler.Program's simulation-relevant fields, redeclared here so the
+// compiler package can depend on noise without a cycle.
+type Witness struct {
+	// NSlots is the physical register width the gates act on.
+	NSlots int
+	// Gates is the stream in execution order; slots are in [0, NSlots).
+	Gates []circuit.Gate
+}
+
+// Run configures one trajectory simulation.
+type Run struct {
+	// Shots is the trajectory count (required, > 0).
+	Shots int
+	// Seed drives every random draw. Shot i derives its own generator from
+	// (Seed, i), so results are reproducible and independent of Workers.
+	Seed int64
+	// Workers is the parallel shot-executor count (0 = GOMAXPROCS).
+	Workers int
+}
+
+// ChannelReport is one channel's sampled-event tally in an Estimate.
+type ChannelReport struct {
+	Label  string  `json:"label"`
+	Prob   float64 `json:"prob"`
+	Trials int     `json:"trials"`
+	Events int64   `json:"events"`
+}
+
+// Estimate is the empirical outcome of a trajectory run. It is deterministic
+// per (model, witness, shots, seed) regardless of worker count, which is
+// what lets the compile service cache noisy results content-addressed.
+type Estimate struct {
+	Shots int   `json:"shots"`
+	Seed  int64 `json:"seed"`
+	// Fidelity is the mean trajectory overlap |<ideal|traj>|^2 with the
+	// noise-free execution of the same witness.
+	Fidelity float64 `json:"fidelity"`
+	// StdErr is the standard error of Fidelity; CILow/CIHigh bound the 95%
+	// confidence interval.
+	StdErr float64 `json:"stdErr"`
+	CILow  float64 `json:"ciLow"`
+	CIHigh float64 `json:"ciHigh"`
+	// Survival is the error-free trajectory fraction — the unbiased
+	// estimator of the analytic fidelity product.
+	Survival float64 `json:"survival"`
+	// Analytic is the model's closed-form no-error probability, the
+	// reference Survival converges to (and, for backends with a fidelity
+	// model, the compiler's reported FidelityTotal).
+	Analytic float64 `json:"analytic"`
+	// LostShots counts trajectories destroyed by an atom-loss event;
+	// ErrorShots counts trajectories with at least one sampled event.
+	LostShots  int `json:"lostShots"`
+	ErrorShots int `json:"errorShots"`
+	// Channels tallies sampled events per channel, in model order.
+	Channels []ChannelReport `json:"channels,omitempty"`
+}
+
+// SurvivalSigma returns the one-sigma binomial half-width of the Survival
+// estimator around the analytic prediction — the yardstick the validation
+// suite measures empirical-vs-analytic agreement with.
+func (e *Estimate) SurvivalSigma() float64 {
+	a := e.Analytic
+	return math.Sqrt(a * (1 - a) / float64(e.Shots))
+}
+
+// rng is splitmix64: tiny, allocation-free, and statistically ample for
+// event sampling. Each shot gets an independent stream.
+type rng struct{ s uint64 }
+
+// mix64 is the splitmix64 finalizer (a bijective avalanche).
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// shotRNG derives shot i's generator from (seed, i). The initial state runs
+// through the finalizer twice so consecutive shots land at unrelated points
+// of the splitmix sequence — a plain affine state (seed ^ (shot+c)*gamma)
+// would make shot i+1's stream a one-draw shift of shot i's, correlating
+// adjacent shots and invalidating the i.i.d. assumption behind the
+// confidence intervals.
+func shotRNG(seed int64, shot int) rng {
+	return rng{s: mix64(uint64(seed) ^ mix64(uint64(shot)+0x632be59bd9b4e019))}
+}
+
+func (r *rng) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	return mix64(r.s)
+}
+
+// open01 returns a uniform float in (0, 1].
+func (r *rng) open01() float64 {
+	return (float64(r.next()>>11) + 1) / (1 << 53)
+}
+
+func (r *rng) intn(n int) int {
+	// The modulo bias is < n/2^64 — irrelevant at trajectory statistics.
+	return int(r.next() % uint64(n))
+}
+
+// event is one sampled error, applied after pos gates of the stream.
+type event struct {
+	pos    int
+	kind   Kind
+	q0, q1 int
+	pauli  int // 1..3 for 1Q (X,Y,Z); 1..15 encoding a Pauli pair for 2Q
+}
+
+// chunkShots is the work-unit size of the parallel shot loop. Chunk
+// boundaries are fixed by shot index, so partial sums reduce in the same
+// order whatever the worker count — keeping Estimate deterministic.
+const chunkShots = 256
+
+// partial accumulates one chunk's statistics.
+type partial struct {
+	sumF, sumF2 float64
+	survived    int
+	lost        int
+	errored     int
+	events      []int64
+}
+
+// Simulate runs the Monte-Carlo trajectory estimation: Shots independent
+// replays of the witness under the model's sampled error events, scored
+// against the witness's noise-free output state. Shots that sample no event
+// skip the state-vector replay entirely (their overlap is exactly 1), so
+// high-fidelity programs execute at event-sampling speed and the shot loop
+// stays embarrassingly parallel.
+func Simulate(ctx context.Context, mo Model, w Witness, run Run) (*Estimate, error) {
+	if run.Shots <= 0 {
+		return nil, fmt.Errorf("noise: shots must be positive, got %d", run.Shots)
+	}
+	if w.NSlots <= 0 || w.NSlots > MaxQubits {
+		return nil, fmt.Errorf("noise: witness register %d slots wide; trajectory engine handles 1..%d", w.NSlots, MaxQubits)
+	}
+	for i, g := range w.Gates {
+		if g.Q0 < 0 || g.Q0 >= w.NSlots || (g.IsTwoQubit() && (g.Q1 < 0 || g.Q1 >= w.NSlots)) {
+			return nil, fmt.Errorf("noise: witness gate %d (%v) addresses a slot outside [0,%d)", i, g, w.NSlots)
+		}
+	}
+	workers := run.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	// The noise-free reference state, shared read-only by every worker.
+	ideal := sim.NewState(w.NSlots)
+	for _, g := range w.Gates {
+		ideal.Apply(g)
+	}
+
+	// Error-site tables: gate-attached events pick a uniform site of their
+	// kind in the witness stream.
+	var oneQSites, twoQSites []int
+	for i, g := range w.Gates {
+		if g.IsTwoQubit() {
+			twoQSites = append(twoQSites, i)
+		} else {
+			oneQSites = append(oneQSites, i)
+		}
+	}
+
+	numChunks := (run.Shots + chunkShots - 1) / chunkShots
+	partials := make([]partial, numChunks)
+	var nextChunk atomic.Int64
+	var cancelled atomic.Bool
+	var wg sync.WaitGroup
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sh := newShotSim(mo, w, ideal, oneQSites, twoQSites)
+			for {
+				c := int(nextChunk.Add(1) - 1)
+				if c >= numChunks || cancelled.Load() {
+					return
+				}
+				if ctx.Err() != nil {
+					cancelled.Store(true)
+					return
+				}
+				pt := &partials[c]
+				pt.events = make([]int64, len(mo.Channels))
+				lo := c * chunkShots
+				hi := lo + chunkShots
+				if hi > run.Shots {
+					hi = run.Shots
+				}
+				for shot := lo; shot < hi; shot++ {
+					sh.run(run.Seed, shot, pt)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("noise: simulation cancelled: %w", err)
+	}
+
+	// Deterministic reduction in chunk order.
+	var tot partial
+	tot.events = make([]int64, len(mo.Channels))
+	for i := range partials {
+		p := &partials[i]
+		tot.sumF += p.sumF
+		tot.sumF2 += p.sumF2
+		tot.survived += p.survived
+		tot.lost += p.lost
+		tot.errored += p.errored
+		for j, n := range p.events {
+			tot.events[j] += n
+		}
+	}
+
+	n := float64(run.Shots)
+	mean := tot.sumF / n
+	variance := 0.0
+	if run.Shots > 1 {
+		variance = (tot.sumF2 - tot.sumF*tot.sumF/n) / (n - 1)
+		if variance < 0 {
+			variance = 0
+		}
+	}
+	stderr := math.Sqrt(variance / n)
+	est := &Estimate{
+		Shots:      run.Shots,
+		Seed:       run.Seed,
+		Fidelity:   mean,
+		StdErr:     stderr,
+		CILow:      clamp01(mean - 1.96*stderr),
+		CIHigh:     clamp01(mean + 1.96*stderr),
+		Survival:   float64(tot.survived) / n,
+		Analytic:   mo.Analytic(),
+		LostShots:  tot.lost,
+		ErrorShots: tot.errored,
+	}
+	for i, c := range mo.Channels {
+		est.Channels = append(est.Channels, ChannelReport{
+			Label: c.Label, Prob: c.Prob, Trials: c.Trials, Events: tot.events[i],
+		})
+	}
+	return est, nil
+}
+
+// shotSim is one worker's reusable trajectory state.
+type shotSim struct {
+	mo        Model
+	w         Witness
+	ideal     *sim.State
+	oneQSites []int
+	twoQSites []int
+	scratch   *sim.State
+	events    []event
+}
+
+func newShotSim(mo Model, w Witness, ideal *sim.State, oneQ, twoQ []int) *shotSim {
+	return &shotSim{mo: mo, w: w, ideal: ideal, oneQSites: oneQ, twoQSites: twoQ,
+		scratch: sim.NewState(w.NSlots)}
+}
+
+// run executes one trajectory and folds its outcome into pt.
+func (s *shotSim) run(seed int64, shot int, pt *partial) {
+	r := shotRNG(seed, shot)
+	s.events = s.events[:0]
+	lost := false
+	for ci := range s.mo.Channels {
+		c := &s.mo.Channels[ci]
+		hits := s.sampleChannel(&r, c)
+		if hits == 0 {
+			continue
+		}
+		pt.events[ci] += int64(hits)
+		if c.Kind == Loss {
+			lost = true
+		}
+	}
+	switch {
+	case len(s.events) == 0 && !lost:
+		pt.survived++
+		pt.sumF++
+		pt.sumF2++
+		return
+	case lost:
+		pt.lost++
+		pt.errored++
+		return // overlap 0: the register lost an atom
+	}
+	pt.errored++
+	f := s.replay()
+	pt.sumF += f
+	pt.sumF2 += f * f
+}
+
+// sampleChannel draws the channel's Binomial(trials, p) error events via
+// geometric gap-skipping — O(expected hits), not O(trials) — and records
+// each event's placement. It returns the hit count.
+func (s *shotSim) sampleChannel(r *rng, c *Channel) int {
+	hits := 0
+	emit := func() {
+		hits++
+		if c.Kind == Loss {
+			return // placement irrelevant: the shot scores zero
+		}
+		s.events = append(s.events, s.placeEvent(r, c))
+	}
+	if c.Prob >= 1 {
+		for t := 0; t < c.Trials; t++ {
+			emit()
+		}
+		return hits
+	}
+	logq := math.Log1p(-c.Prob)
+	pos := -1
+	for {
+		skip := int(math.Log(r.open01()) / logq)
+		pos += 1 + skip
+		if pos >= c.Trials || pos < 0 { // pos < 0 guards int overflow on tiny p
+			return hits
+		}
+		emit()
+	}
+}
+
+// placeEvent localises one sampled error in the witness stream.
+func (s *shotSim) placeEvent(r *rng, c *Channel) event {
+	switch c.Kind {
+	case Pauli1Q:
+		if len(s.oneQSites) > 0 {
+			gi := s.oneQSites[r.intn(len(s.oneQSites))]
+			return event{pos: gi + 1, kind: Pauli1Q, q0: s.w.Gates[gi].Q0, pauli: 1 + r.intn(3)}
+		}
+		// The analytic model counted 1Q gates the witness does not carry
+		// individually; fall back to a random qubit at a random point.
+		return event{pos: r.intn(len(s.w.Gates) + 1), kind: Pauli1Q, q0: r.intn(s.w.NSlots), pauli: 1 + r.intn(3)}
+	case Pauli2Q:
+		if len(s.twoQSites) > 0 {
+			gi := s.twoQSites[r.intn(len(s.twoQSites))]
+			g := s.w.Gates[gi]
+			return event{pos: gi + 1, kind: Pauli2Q, q0: g.Q0, q1: g.Q1, pauli: 1 + r.intn(15)}
+		}
+		q0 := r.intn(s.w.NSlots)
+		q1 := q0
+		if s.w.NSlots > 1 {
+			q1 = (q0 + 1 + r.intn(s.w.NSlots-1)) % s.w.NSlots
+		}
+		return event{pos: r.intn(len(s.w.Gates) + 1), kind: Pauli2Q, q0: q0, q1: q1, pauli: 1 + r.intn(15)}
+	default: // Dephase
+		return event{pos: r.intn(len(s.w.Gates) + 1), kind: Dephase, q0: r.intn(s.w.NSlots), pauli: 3}
+	}
+}
+
+var pauliOps = [4]circuit.Op{0, circuit.OpX, circuit.OpY, circuit.OpZ}
+
+// replay re-executes the witness with the shot's events injected and returns
+// the overlap with the ideal output.
+func (s *shotSim) replay() float64 {
+	sort.Slice(s.events, func(i, j int) bool { return s.events[i].pos < s.events[j].pos })
+	st := s.scratch
+	for i := range st.Amp {
+		st.Amp[i] = 0
+	}
+	st.Amp[0] = 1
+	ei := 0
+	apply := func(pos int) {
+		for ei < len(s.events) && s.events[ei].pos == pos {
+			s.applyEvent(st, &s.events[ei])
+			ei++
+		}
+	}
+	apply(0)
+	for gi, g := range s.w.Gates {
+		st.Apply(g)
+		apply(gi + 1)
+	}
+	return sim.Fidelity(st, s.ideal)
+}
+
+func (s *shotSim) applyEvent(st *sim.State, e *event) {
+	switch e.kind {
+	case Pauli2Q:
+		if p := e.pauli & 3; p != 0 {
+			st.Apply(circuit.Gate{Op: pauliOps[p], Q0: e.q0, Q1: -1})
+		}
+		if p := e.pauli >> 2; p != 0 {
+			st.Apply(circuit.Gate{Op: pauliOps[p], Q0: e.q1, Q1: -1})
+		}
+	default: // Pauli1Q, Dephase
+		st.Apply(circuit.Gate{Op: pauliOps[e.pauli&3], Q0: e.q0, Q1: -1})
+	}
+}

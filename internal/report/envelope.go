@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"atomique/internal/metrics"
+	"atomique/internal/noise"
 )
 
 // Envelope is the JSON-serialisable compilation-result record the compile
@@ -25,6 +26,11 @@ type Envelope struct {
 	// Extra carries backend-specific scalar outputs (e.g. Geyser blocks and
 	// pulses) with no slot in the common metrics record.
 	Extra map[string]float64 `json:"extra,omitempty"`
+	// Noise is the empirical fidelity estimate from Monte-Carlo trajectory
+	// simulation, present when the request asked for noisy shots. It is
+	// deterministic per (circuit, options, seed), like every other envelope
+	// field, so noisy results cache content-addressed too.
+	Noise *noise.Estimate `json:"noise,omitempty"`
 	// FidelityTotal is the product of all fidelity factors.
 	FidelityTotal float64 `json:"fidelityTotal"`
 	// ErrorBreakdown maps every fidelity factor (including Transfer, which

@@ -41,9 +41,14 @@ type benchmarkInfo struct {
 	N1Q     int    `json:"n1Q"`
 }
 
+// DefaultSimulateShots is the trajectory count POST /v1/simulate uses when a
+// request leaves shots unset.
+const DefaultSimulateShots = 1024
+
 // Handler returns the service's HTTP API:
 //
 //	POST   /v1/compile           compile one request (?async=1 to enqueue only)
+//	POST   /v1/simulate          compile + Monte-Carlo noisy-shot simulation
 //	POST   /v1/compile/batch     compile many requests concurrently
 //	GET    /v1/jobs/{id}         job status and result
 //	DELETE /v1/jobs/{id}         cancel a queued/running job
@@ -55,6 +60,7 @@ type benchmarkInfo struct {
 func (e *Engine) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/compile", e.handleCompile)
+	mux.HandleFunc("POST /v1/simulate", e.handleSimulate)
 	mux.HandleFunc("POST /v1/compile/batch", e.handleBatch)
 	mux.HandleFunc("GET /v1/jobs/{id}", e.handleJobGet)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", e.handleJobCancel)
@@ -114,6 +120,12 @@ func (e *Engine) handleCompile(w http.ResponseWriter, r *http.Request) {
 	if !decodeRequest(w, r, &req) {
 		return
 	}
+	e.serveCompile(w, r, req)
+}
+
+// serveCompile runs one decoded request through the synchronous compile
+// path, honouring ?async=1 — shared by /v1/compile and /v1/simulate.
+func (e *Engine) serveCompile(w http.ResponseWriter, r *http.Request, req Request) {
 	if v := r.URL.Query().Get("async"); v != "" {
 		async, err := strconv.ParseBool(v)
 		if err != nil {
@@ -136,6 +148,22 @@ func (e *Engine) handleCompile(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, jobStatus(jv), jv)
+}
+
+// handleSimulate is the noisy-shot workload entry point: compile (through
+// the cache, like every job) and replay the program under the sampled noise
+// model. It is POST /v1/compile with shots defaulted on — including the
+// ?async=1 contract — so clients that only care about empirical fidelity
+// need not know the option plumbing.
+func (e *Engine) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	var req Request
+	if !decodeRequest(w, r, &req) {
+		return
+	}
+	if req.Shots == 0 {
+		req.Shots = DefaultSimulateShots
+	}
+	e.serveCompile(w, r, req)
 }
 
 // handleBatch compiles every request concurrently through the worker pool.

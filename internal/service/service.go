@@ -28,6 +28,7 @@ import (
 	"atomique/internal/compiler"
 	"atomique/internal/hardware"
 	"atomique/internal/metrics"
+	"atomique/internal/noise"
 	"atomique/internal/qasm"
 	"atomique/internal/report"
 
@@ -104,6 +105,22 @@ type Request struct {
 	Relax  string  `json:"relax,omitempty"`  // comma-separated constraint IDs (1,2,3)
 	Exact  bool    `json:"exact,omitempty"`  // solver backends: exact (exponential) mode
 	Budget float64 `json:"budget,omitempty"` // solver backends: compile budget in seconds (0 = backend default)
+
+	// Shots enables Monte-Carlo trajectory noise estimation (0 = off): the
+	// compiled program is replayed this many times under sampled noise and
+	// the empirical fidelity rides in the result envelope's "noise" field.
+	// POST /v1/simulate defaults it to DefaultSimulateShots. All noise
+	// options are part of the content-addressed cache key, so noisy and
+	// ideal results never alias.
+	Shots int `json:"shots,omitempty"`
+	// NoiseSeed seeds trajectory sampling, independently of Seed.
+	NoiseSeed int64 `json:"noiseSeed,omitempty"`
+	// NoiseScale multiplies every noise-channel probability (0 = 1.0).
+	NoiseScale float64 `json:"noiseScale,omitempty"`
+	// Noise1Q / Noise2Q override the hardware-derived per-gate error
+	// probabilities when positive.
+	Noise1Q float64 `json:"noise1Q,omitempty"`
+	Noise2Q float64 `json:"noise2Q,omitempty"`
 
 	SLM     int    `json:"slm,omitempty"`     // SLM side length (FPQA backends)
 	AODs    int    `json:"aods,omitempty"`    // number of AOD arrays (FPQA backends)
@@ -367,8 +384,28 @@ func (e *Engine) resolve(req Request) (task, error) {
 	if req.Budget < 0 {
 		return task{}, &RequestError{Msg: "budget must be non-negative seconds"}
 	}
+	if req.Shots < 0 || req.Shots > compiler.MaxNoisyShots {
+		return task{}, &RequestError{Msg: fmt.Sprintf("shots must be in 0..%d", compiler.MaxNoisyShots)}
+	}
+	if req.NoiseScale < 0 || req.Noise1Q < 0 || req.Noise1Q > 1 || req.Noise2Q < 0 || req.Noise2Q > 1 {
+		return task{}, &RequestError{Msg: "noiseScale must be non-negative and noise1Q/noise2Q must be probabilities in [0,1]"}
+	}
+	if req.Shots == 0 && (req.NoiseSeed != 0 || req.NoiseScale != 0 || req.Noise1Q != 0 || req.Noise2Q != 0) {
+		return task{}, &RequestError{Msg: "noise options (noiseSeed, noiseScale, noise1Q, noise2Q) need shots > 0"}
+	}
+	// A witness wider than the dense trajectory replay's register cap is
+	// guaranteed to fail after the compile — reject it up front instead of
+	// burning a worker on it. WitnessWidth accounts for declared ancilla
+	// overhead (Q-Pilot's flying ancillas).
+	if w := be.Capabilities().WitnessWidth(circ.N); req.Shots > 0 && w > noise.MaxQubits {
+		return task{}, &RequestError{
+			Msg: fmt.Sprintf("noisy simulation handles witnesses up to %d qubits; backend %q compiles this %d-qubit circuit to a %d-slot witness",
+				noise.MaxQubits, be.Name(), circ.N, w)}
+	}
 	opts := compiler.Options{Seed: req.Seed, SerialRouter: req.Serial, DenseMapper: req.Dense,
-		Exact: req.Exact, BudgetSeconds: req.Budget}
+		Exact: req.Exact, BudgetSeconds: req.Budget,
+		NoisyShots: req.Shots, NoiseSeed: req.NoiseSeed, NoiseScale: req.NoiseScale,
+		Noise1Q: req.Noise1Q, Noise2Q: req.Noise2Q}
 	if err := opts.ApplyRelax(req.Relax); err != nil {
 		return task{}, &RequestError{Msg: err.Error()}
 	}
@@ -784,10 +821,17 @@ func (e *Engine) execute(ctx context.Context, t task) *outcome {
 		return &outcome{err: err}
 	}
 	e.recordPasses(res.Metrics.Passes)
+	// Noisy-shot requests replay the compiled program through the
+	// trajectory engine on the same worker; the estimate is deterministic
+	// per (options, seed), so the outcome stays cacheable.
+	if err := compiler.AttachNoise(ctx, t.target, res, t.opts); err != nil {
+		return &outcome{err: err}
+	}
 	env := report.NewEnvelope(t.hash, res.Metrics)
 	env.Backend = res.Backend
 	env.Extra = res.Extra
 	env.TimedOut = res.TimedOut
+	env.Noise = res.Noise
 	js, err := env.EncodeJSON()
 	if err != nil {
 		return &outcome{err: fmt.Errorf("service: encode result: %w", err)}
