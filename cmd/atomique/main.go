@@ -26,6 +26,7 @@ import (
 	"atomique/internal/core"
 	"atomique/internal/fidelity"
 	"atomique/internal/hardware"
+	"atomique/internal/obs"
 	"atomique/internal/qasm"
 	"atomique/internal/viz"
 
@@ -57,6 +58,7 @@ func main() {
 		shots        = flag.Int("shots", 0, "noisy-simulation trajectory count (implies -noisy; 0 with -noisy = 2000)")
 		noiseSeed    = flag.Int64("noiseseed", 0, "noisy-simulation sampling seed")
 		noiseScale   = flag.Float64("noisescale", 0, "multiply every noise-channel probability (0 = 1.0)")
+		traceFlag    = flag.Bool("trace", false, "record a span trace of the compilation and print the tree")
 		schedule     = flag.Bool("schedule", false, "print the movement/gate schedule")
 		vizFlag      = flag.Bool("viz", false, "render placement + stage diagrams")
 		jsonOut      = flag.String("json", "", "export the schedule as JSON to this file ('-' for stdout)")
@@ -238,14 +240,28 @@ func main() {
 		os.Exit(1)
 	}
 
-	res, err := backend.Compile(context.Background(), tgt, circ.Circ, opts)
+	// -trace threads a span through the same instrumentation the compile
+	// service uses: the pipeline runner and trajectory engine attach their
+	// spans to whatever the context carries.
+	ctx := context.Background()
+	var tr *obs.Trace
+	if *traceFlag {
+		tr = obs.NewTrace("", "compile")
+		tr.Root.SetAttr("backend", backend.Name())
+		tr.Root.SetAttr("benchmark", circ.Name)
+		ctx = obs.ContextWithSpan(ctx, tr.Root)
+	}
+	res, err := backend.Compile(ctx, tgt, circ.Circ, opts)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "atomique: %v\n", err)
 		os.Exit(1)
 	}
-	if err := compiler.AttachNoise(context.Background(), tgt, res, opts); err != nil {
+	if err := compiler.AttachNoise(ctx, tgt, res, opts); err != nil {
 		fmt.Fprintf(os.Stderr, "atomique: %v\n", err)
 		os.Exit(1)
+	}
+	if tr != nil {
+		tr.Root.End()
 	}
 	m := res.Metrics
 	coreRes, hasSchedule := res.Artifact.(*core.Result)
@@ -313,6 +329,11 @@ func main() {
 		for _, c := range est.Channels {
 			fmt.Printf("  channel %-14s p=%.3g x%-6d %d events\n", c.Label, c.Prob, c.Trials, c.Events)
 		}
+	}
+
+	if tr != nil {
+		fmt.Printf("\ntrace %s\n", tr.ID)
+		tr.Root.Snapshot().WriteTree(os.Stdout)
 	}
 
 	if (*schedule || *vizFlag || *jsonOut != "") && !hasSchedule {

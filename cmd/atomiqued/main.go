@@ -6,11 +6,21 @@
 //
 //	atomiqued [-addr :8791] [-workers 8] [-queue 64] [-cache 256]
 //	          [-slm 10] [-aods 2] [-aodsize 10]
+//	          [-ops-addr :8792] [-log-level info] [-trace-buffer 256]
+//	          [-smoke]
 //
-// Endpoints: POST /v1/compile, POST /v1/compile/batch, GET /v1/jobs/{id},
-// DELETE /v1/jobs/{id}, GET /v1/backends, GET /v1/benchmarks,
-// GET /v1/healthz, GET /v1/stats. Requests select a compiler backend via
-// the "backend" field (default "atomique"; discover via GET /v1/backends).
+// Endpoints: POST /v1/compile, POST /v1/simulate, POST /v1/compile/batch,
+// GET /v1/jobs/{id}, DELETE /v1/jobs/{id}, GET /v1/backends,
+// GET /v1/benchmarks, GET /v1/healthz, GET /v1/stats, GET /v1/traces,
+// GET /metrics. Requests select a compiler backend via the "backend" field
+// (default "atomique"; discover via GET /v1/backends) and may carry an
+// X-Trace-Id header to name their request trace.
+//
+// -ops-addr starts a second listener with net/http/pprof under /debug/pprof/
+// and a /metrics mirror, so profiling and scraping need not share the API
+// port. -smoke boots the server on a loopback port, drives a compile and a
+// noisy simulate through it, validates the /metrics exposition and
+// /v1/traces, and exits — the CI end-to-end check.
 package main
 
 import (
@@ -18,7 +28,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -28,20 +40,60 @@ import (
 	"atomique/internal/compiler"
 	"atomique/internal/core"
 	"atomique/internal/hardware"
+	"atomique/internal/obs"
 	"atomique/internal/service"
 )
 
+// parseLogLevel maps the -log-level flag to a slog level.
+func parseLogLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info":
+		return slog.LevelInfo, nil
+	case "warn":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	default:
+		return 0, fmt.Errorf("unknown log level %q (debug|info|warn|error)", s)
+	}
+}
+
+// opsHandler is the ops-listener mux: pprof plus a /metrics mirror.
+func opsHandler(engine *service.Engine) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", engine.MetricsHandler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
 func main() {
 	var (
-		addr    = flag.String("addr", ":8791", "listen address")
-		workers = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
-		queue   = flag.Int("queue", 64, "job queue capacity")
-		cache   = flag.Int("cache", 256, "result cache entries")
-		slm     = flag.Int("slm", 10, "default SLM array side length")
-		aods    = flag.Int("aods", 2, "default number of AOD arrays")
-		aodSize = flag.Int("aodsize", 10, "default AOD array side length")
+		addr        = flag.String("addr", ":8791", "listen address")
+		workers     = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		queue       = flag.Int("queue", 64, "job queue capacity")
+		cache       = flag.Int("cache", 256, "result cache entries")
+		slm         = flag.Int("slm", 10, "default SLM array side length")
+		aods        = flag.Int("aods", 2, "default number of AOD arrays")
+		aodSize     = flag.Int("aodsize", 10, "default AOD array side length")
+		opsAddr     = flag.String("ops-addr", "", "ops listen address for pprof + /metrics (empty = disabled)")
+		logLevel    = flag.String("log-level", "info", "log level: debug, info, warn, error")
+		traceBuffer = flag.Int("trace-buffer", 256, "finished traces kept for GET /v1/traces")
+		smoke       = flag.Bool("smoke", false, "boot on a loopback port, self-check compile/simulate/metrics/traces, exit")
 	)
 	flag.Parse()
+
+	level, err := parseLogLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "atomiqued: %v\n", err)
+		os.Exit(1)
+	}
+	logger := obs.NewLogger(os.Stderr, level)
 
 	hw := hardware.BuildConfig(*slm, *aods, *aodSize, hardware.NeutralAtom())
 	if err := hw.Validate(); err != nil {
@@ -50,12 +102,23 @@ func main() {
 	}
 
 	engine := service.New(service.Config{
-		Workers:   *workers,
-		QueueSize: *queue,
-		CacheSize: *cache,
-		Hardware:  hw,
+		Workers:     *workers,
+		QueueSize:   *queue,
+		CacheSize:   *cache,
+		Hardware:    hw,
+		TraceBuffer: *traceBuffer,
+		Logger:      logger,
 	})
 	defer engine.Close()
+
+	if *smoke {
+		if err := runSmoke(engine, logger); err != nil {
+			fmt.Fprintf(os.Stderr, "atomiqued: smoke: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("atomiqued: smoke check passed")
+		return
+	}
 
 	srv := &http.Server{
 		Addr:              *addr,
@@ -68,12 +131,24 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
+	if *opsAddr != "" {
+		ops := &http.Server{Addr: *opsAddr, Handler: opsHandler(engine), ReadHeaderTimeout: 10 * time.Second}
+		go func() {
+			if err := ops.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("ops listener failed", "addr", *opsAddr, "error", err.Error())
+			}
+		}()
+		defer ops.Close()
+		logger.Info("ops listener up", "addr", *opsAddr, "pprof", "/debug/pprof/", "metrics", "/metrics")
+	}
 	fmt.Printf("atomiqued: listening on %s (%dx%d SLM + %d x %dx%d AOD, queue %d, cache %d)\n",
 		*addr, *slm, *slm, *aods, *aodSize, *aodSize, *queue, *cache)
 	fmt.Printf("atomiqued: compile pipeline: %s (per-pass timings in GET /v1/stats)\n",
 		strings.Join(core.PassNames(), " -> "))
 	fmt.Printf("atomiqued: backends: %s (select via the request backend field)\n",
 		strings.Join(compiler.Names(), ", "))
+	logger.Info("serving", "addr", *addr, "workers", *workers, "queue", *queue,
+		"cache", *cache, "traceBuffer", *traceBuffer)
 
 	select {
 	case <-ctx.Done():

@@ -1,0 +1,142 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+
+	"atomique/internal/obs"
+	"atomique/internal/service"
+)
+
+// runSmoke is the -smoke mode: serve the real handler on an ephemeral
+// loopback port, drive a compile and a noisy simulate through it over HTTP,
+// and verify the observability surface end to end — /metrics parses as valid
+// Prometheus exposition and carries the expected families, and /v1/traces
+// returns the jobs' trace IDs with full span trees. CI runs this as its
+// boot-and-scrape job.
+func runSmoke(engine *service.Engine, logger *slog.Logger) error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: engine.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	go srv.Serve(ln) //nolint:errcheck // torn down via Close below
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+	logger.Info("smoke server up", "addr", ln.Addr().String())
+
+	client := &http.Client{Timeout: 60 * time.Second}
+	post := func(path, traceID string, body any) (*service.Job, error) {
+		js, err := json.Marshal(body)
+		if err != nil {
+			return nil, err
+		}
+		req, err := http.NewRequest(http.MethodPost, base+path, bytes.NewReader(js))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if traceID != "" {
+			req.Header.Set(service.TraceHeader, traceID)
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("POST %s: status %d: %s", path, resp.StatusCode, raw)
+		}
+		var jv service.Job
+		if err := json.Unmarshal(raw, &jv); err != nil {
+			return nil, fmt.Errorf("POST %s: decode: %w", path, err)
+		}
+		if jv.State != service.StateDone {
+			return nil, fmt.Errorf("POST %s: job state %s (%s)", path, jv.State, jv.Error)
+		}
+		if echoed := resp.Header.Get(service.TraceHeader); echoed != jv.TraceID {
+			return nil, fmt.Errorf("POST %s: header trace %q != job trace %q", path, echoed, jv.TraceID)
+		}
+		return &jv, nil
+	}
+
+	compiled, err := post("/v1/compile", "smoke-compile", service.Request{Benchmark: "H2-4", Seed: 1})
+	if err != nil {
+		return err
+	}
+	simulated, err := post("/v1/simulate", "", service.Request{Benchmark: "H2-4", Seed: 1, Shots: 256})
+	if err != nil {
+		return err
+	}
+	if compiled.TraceID != "smoke-compile" {
+		return fmt.Errorf("client trace ID not honoured: got %q", compiled.TraceID)
+	}
+
+	// /metrics must be valid exposition and cover both request classes.
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	expo, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	samples, err := obs.ParseExposition(bytes.NewReader(expo))
+	if err != nil {
+		return fmt.Errorf("/metrics exposition invalid: %w", err)
+	}
+	for _, want := range []string{
+		`atomique_request_duration_seconds_p50{backend="atomique",class="compile"}`,
+		`atomique_request_duration_seconds_p99{backend="atomique",class="simulate"}`,
+		`atomique_requests_total{backend="atomique",class="compile",outcome="done"}`,
+		`atomique_queue_wait_seconds_count`,
+		`atomique_cache_events_total{event="miss"}`,
+		`atomique_trajectory_shots_total`,
+		`atomique_workers_busy`,
+	} {
+		if !strings.Contains(string(expo), want) {
+			return fmt.Errorf("/metrics missing %q", want)
+		}
+	}
+	logger.Info("metrics exposition valid", "samples", samples)
+
+	// /v1/traces must return both jobs' traces with populated span trees.
+	for _, id := range []string{compiled.TraceID, simulated.TraceID} {
+		resp, err := client.Get(base + "/v1/traces/" + id)
+		if err != nil {
+			return err
+		}
+		raw, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("GET /v1/traces/%s: status %d", id, resp.StatusCode)
+		}
+		var tv struct {
+			TraceID string            `json:"traceId"`
+			Spans   *obs.SpanSnapshot `json:"spans"`
+		}
+		if err := json.Unmarshal(raw, &tv); err != nil {
+			return err
+		}
+		if tv.TraceID != id || tv.Spans == nil || len(tv.Spans.Children) == 0 {
+			return fmt.Errorf("trace %s incomplete: %s", id, raw)
+		}
+	}
+	logger.Info("traces browsable", "compile", compiled.TraceID, "simulate", simulated.TraceID)
+	return nil
+}

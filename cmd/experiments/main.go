@@ -32,8 +32,19 @@ func main() {
 		list    = flag.Bool("list", false, "list experiment ids and exit")
 		useSvc  = flag.Bool("service", false, "run Atomique compiles through the compile service's batch path (content-addressed cache dedupes repeated sweeps)")
 		workers = flag.Int("workers", 0, "service worker pool size (with -service; 0 = GOMAXPROCS)")
+
+		benchRecordPath = flag.String("bench-record", "", "measure the tracked benchmark workloads (Tab2 compile, per-backend compile, noisy-shot throughput), write the JSON perf record to this file, and exit")
+		benchBaseline   = flag.Float64("bench-baseline", 0, "pre-change Tab2 suite seconds/op to diff against in -bench-record (0 = none; >2% regression fails the run)")
 	)
 	flag.Parse()
+
+	if *benchRecordPath != "" {
+		if err := runBenchRecord(*benchRecordPath, *benchBaseline); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: bench-record: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *useSvc {
 		engine := service.New(service.Config{Workers: *workers})

@@ -6,10 +6,13 @@ import (
 	"math"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"atomique/internal/circuit"
+	"atomique/internal/obs"
 	"atomique/internal/sim"
 )
 
@@ -164,10 +167,22 @@ func Simulate(ctx context.Context, mo Model, w Witness, run Run) (*Estimate, err
 		workers = runtime.GOMAXPROCS(0)
 	}
 
+	// Traced callers (the compile service) get spans for the witness replay
+	// and the parallel shot loop; chunk sub-spans are recorded from worker
+	// goroutines (obs spans are concurrency-safe) and capped by the span's
+	// child limit. Untraced callers pay a nil check.
+	parent := obs.SpanFromContext(ctx)
+
 	// The noise-free reference state, shared read-only by every worker.
+	replaySpan := parent.StartChild("witness.replay")
 	ideal := sim.NewState(w.NSlots)
 	for _, g := range w.Gates {
 		ideal.Apply(g)
+	}
+	if replaySpan != nil {
+		replaySpan.SetAttr("slots", strconv.Itoa(w.NSlots))
+		replaySpan.SetAttr("gates", strconv.Itoa(len(w.Gates)))
+		replaySpan.End()
 	}
 
 	// Error-site tables: gate-attached events pick a uniform site of their
@@ -182,6 +197,12 @@ func Simulate(ctx context.Context, mo Model, w Witness, run Run) (*Estimate, err
 	}
 
 	numChunks := (run.Shots + chunkShots - 1) / chunkShots
+	trajSpan := parent.StartChild("noise.trajectory")
+	if trajSpan != nil {
+		trajSpan.SetAttr("shots", strconv.Itoa(run.Shots))
+		trajSpan.SetAttr("chunks", strconv.Itoa(numChunks))
+		trajSpan.SetAttr("workers", strconv.Itoa(workers))
+	}
 	partials := make([]partial, numChunks)
 	var nextChunk atomic.Int64
 	var cancelled atomic.Bool
@@ -207,13 +228,20 @@ func Simulate(ctx context.Context, mo Model, w Witness, run Run) (*Estimate, err
 				if hi > run.Shots {
 					hi = run.Shots
 				}
+				chunkStart := time.Now()
 				for shot := lo; shot < hi; shot++ {
 					sh.run(run.Seed, shot, pt)
+				}
+				if trajSpan != nil {
+					if cs := trajSpan.Record("chunk", chunkStart, time.Since(chunkStart)); cs != nil {
+						cs.SetAttr("shots", fmt.Sprintf("%d..%d", lo, hi-1))
+					}
 				}
 			}
 		}()
 	}
 	wg.Wait()
+	trajSpan.End()
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("noise: simulation cancelled: %w", err)
 	}

@@ -1,0 +1,342 @@
+// Package obs is the dependency-free observability subsystem the compile
+// service threads through every layer: a metrics registry (counters, gauges,
+// log-bucketed histograms with quantile snapshots) exposed in Prometheus text
+// format, request-scoped tracing (trace IDs, span trees, a bounded ring
+// buffer browsable over HTTP), and slog helpers that correlate structured
+// logs by trace ID. It imports only the standard library so any package —
+// internal/pipeline, internal/noise, the cmds — can record into it without
+// dependency cycles.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically non-decreasing float64, safe for concurrent
+// use. Floats (not ints) so cumulative-seconds counters fit the same type.
+type Counter struct {
+	bits atomic.Uint64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds v (v must be non-negative; negative deltas corrupt rate queries).
+func (c *Counter) Add(v float64) {
+	for {
+		old := c.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if c.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current total.
+func (c *Counter) Value() float64 { return math.Float64frombits(c.bits.Load()) }
+
+// Histogram is a log-bucketed distribution, safe for concurrent Observe.
+// Bucket i counts observations v <= Bounds[i] (cumulatively exclusive of
+// earlier buckets); values above the last bound land in an implicit +Inf
+// bucket. The default bounds cover 1µs..~4300s at ratio 2, which keeps
+// quantile estimates within a factor-2 bucket of truth across nine decades —
+// ample for latency percentiles.
+type Histogram struct {
+	bounds  []float64 // ascending upper bounds, +Inf implicit
+	buckets []atomic.Uint64
+	count   atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+// LogBuckets returns n ascending bucket bounds starting at start, each ratio
+// times the previous.
+func LogBuckets(start, ratio float64, n int) []float64 {
+	if start <= 0 || ratio <= 1 || n < 1 {
+		panic("obs: LogBuckets needs start > 0, ratio > 1, n >= 1")
+	}
+	bounds := make([]float64, n)
+	v := start
+	for i := range bounds {
+		bounds[i] = v
+		v *= ratio
+	}
+	return bounds
+}
+
+// DefaultLatencyBuckets spans 1µs to ~4295s at ratio 2 (33 buckets).
+func DefaultLatencyBuckets() []float64 { return LogBuckets(1e-6, 2, 33) }
+
+func newHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefaultLatencyBuckets()
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("obs: histogram bounds must be strictly ascending")
+		}
+	}
+	return &Histogram{bounds: bounds, buckets: make([]atomic.Uint64, len(bounds)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// Binary search for the first bound >= v; the extra slot is +Inf.
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// HistSnapshot is a point-in-time copy of a histogram.
+type HistSnapshot struct {
+	Bounds  []float64 // ascending upper bounds; the final bucket is +Inf
+	Buckets []uint64  // len(Bounds)+1, non-cumulative counts
+	Count   uint64
+	Sum     float64
+}
+
+// Snapshot copies the histogram state. Concurrent observers may land between
+// the bucket reads, so Count is recomputed from the bucket copy to keep the
+// snapshot internally consistent.
+func (h *Histogram) Snapshot() HistSnapshot {
+	s := HistSnapshot{
+		Bounds:  h.bounds,
+		Buckets: make([]uint64, len(h.buckets)),
+		Sum:     math.Float64frombits(h.sumBits.Load()),
+	}
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+		s.Count += s.Buckets[i]
+	}
+	return s
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) by linear interpolation
+// within the bucket holding the target rank, matching Prometheus's
+// histogram_quantile: the first bucket interpolates from 0, and ranks in the
+// +Inf bucket clamp to the highest finite bound. Returns 0 for an empty
+// histogram.
+func (s HistSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	cum := 0.0
+	for i, n := range s.Buckets {
+		prev := cum
+		cum += float64(n)
+		if n == 0 || cum < rank {
+			continue
+		}
+		if i == len(s.Bounds) { // +Inf bucket: clamp to the last finite bound
+			return s.Bounds[len(s.Bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = s.Bounds[i-1]
+		}
+		hi := s.Bounds[i]
+		return lo + (hi-lo)*(rank-prev)/float64(n)
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
+// Quantiles is the compact percentile summary /v1/stats and the exposition's
+// derived gauges serve.
+type Quantiles struct {
+	Count uint64  `json:"count"`
+	Sum   float64 `json:"sum"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+}
+
+// Quantiles snapshots the histogram and derives p50/p90/p99.
+func (h *Histogram) Quantiles() Quantiles {
+	s := h.Snapshot()
+	return Quantiles{Count: s.Count, Sum: s.Sum,
+		P50: s.Quantile(0.50), P90: s.Quantile(0.90), P99: s.Quantile(0.99)}
+}
+
+// metricKind tags a family for the exposition writer.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// series is one labelled instance within a family.
+type series struct {
+	labelValues []string
+	counter     *Counter
+	hist        *Histogram
+	gaugeFn     func() float64
+}
+
+// family is one named metric with a fixed label schema.
+type family struct {
+	name       string
+	help       string
+	kind       metricKind
+	labelNames []string
+	bounds     []float64 // histogram families only
+
+	mu     sync.RWMutex
+	series map[string]*series
+	order  []string // insertion order, for stable exposition
+}
+
+const labelSep = "\x1f"
+
+func (f *family) get(labelValues []string, create func() *series) *series {
+	if len(labelValues) != len(f.labelNames) {
+		panic(fmt.Sprintf("obs: metric %s expects %d label values, got %d",
+			f.name, len(f.labelNames), len(labelValues)))
+	}
+	key := strings.Join(labelValues, labelSep)
+	f.mu.RLock()
+	s, ok := f.series[key]
+	f.mu.RUnlock()
+	if ok {
+		return s
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s, ok := f.series[key]; ok {
+		return s
+	}
+	s = create()
+	s.labelValues = append([]string(nil), labelValues...)
+	f.series[key] = s
+	f.order = append(f.order, key)
+	return s
+}
+
+// CounterVec is a family of counters keyed by label values.
+type CounterVec struct{ f *family }
+
+// With returns the counter for the given label values, creating it on first
+// use.
+func (v *CounterVec) With(labelValues ...string) *Counter {
+	return v.f.get(labelValues, func() *series { return &series{counter: &Counter{}} }).counter
+}
+
+// HistogramVec is a family of histograms keyed by label values.
+type HistogramVec struct{ f *family }
+
+// With returns the histogram for the given label values, creating it on
+// first use.
+func (v *HistogramVec) With(labelValues ...string) *Histogram {
+	return v.f.get(labelValues, func() *series { return &series{hist: newHistogram(v.f.bounds)} }).hist
+}
+
+// Each calls fn for every labelled histogram in creation order.
+func (v *HistogramVec) Each(fn func(labelValues []string, h *Histogram)) {
+	v.f.mu.RLock()
+	keys := append([]string(nil), v.f.order...)
+	v.f.mu.RUnlock()
+	for _, k := range keys {
+		v.f.mu.RLock()
+		s := v.f.series[k]
+		v.f.mu.RUnlock()
+		fn(s.labelValues, s.hist)
+	}
+}
+
+// Registry holds metric families and renders them as Prometheus text
+// exposition. Families register once (duplicate names panic — a programming
+// error) and appear in registration order.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	byName   map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{byName: make(map[string]*family)} }
+
+func (r *Registry) register(f *family) {
+	if !validMetricName(f.name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", f.name))
+	}
+	for _, l := range f.labelNames {
+		if !validLabelName(l) {
+			panic(fmt.Sprintf("obs: metric %s: invalid label name %q", f.name, l))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byName[f.name]; dup {
+		panic(fmt.Sprintf("obs: metric %s registered twice", f.name))
+	}
+	f.series = make(map[string]*series)
+	r.byName[f.name] = f
+	r.families = append(r.families, f)
+}
+
+// Counter registers and returns a label-less counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	f := &family{name: name, help: help, kind: kindCounter}
+	r.register(f)
+	return f.get(nil, func() *series { return &series{counter: &Counter{}} }).counter
+}
+
+// CounterVec registers a counter family with the given label names.
+func (r *Registry) CounterVec(name, help string, labelNames ...string) *CounterVec {
+	f := &family{name: name, help: help, kind: kindCounter, labelNames: labelNames}
+	r.register(f)
+	return &CounterVec{f: f}
+}
+
+// GaugeFunc registers a gauge whose value is computed at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	f := &family{name: name, help: help, kind: kindGauge}
+	r.register(f)
+	f.get(nil, func() *series { return &series{gaugeFn: fn} })
+}
+
+// Histogram registers and returns a label-less histogram (nil bounds =
+// DefaultLatencyBuckets).
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	f := &family{name: name, help: help, kind: kindHistogram, bounds: bounds}
+	r.register(f)
+	return f.get(nil, func() *series { return &series{hist: newHistogram(bounds)} }).hist
+}
+
+// HistogramVec registers a histogram family with the given label names (nil
+// bounds = DefaultLatencyBuckets).
+func (r *Registry) HistogramVec(name, help string, bounds []float64, labelNames ...string) *HistogramVec {
+	f := &family{name: name, help: help, kind: kindHistogram, bounds: bounds, labelNames: labelNames}
+	r.register(f)
+	return &HistogramVec{f: f}
+}

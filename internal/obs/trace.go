@@ -1,0 +1,337 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// maxSpanChildren bounds the children one span keeps; traces live in a ring
+// buffer and ride in result envelopes, so an unbounded pipeline (a
+// many-chunk trajectory run) must not balloon them. Further children are
+// counted in DroppedChildren instead of stored.
+const maxSpanChildren = 128
+
+// Span is one timed region of a trace. Spans form a tree under the trace's
+// root; children are added concurrently (the trajectory engine records chunk
+// spans from many workers), so all mutation is mutex-guarded.
+type Span struct {
+	name  string
+	start time.Time
+
+	mu       sync.Mutex
+	end      time.Time
+	attrs    map[string]string
+	children []*Span
+	dropped  int
+}
+
+// newSpan starts a span now.
+func newSpan(name string) *Span { return &Span{name: name, start: time.Now()} }
+
+// StartChild starts a child span now. Safe for concurrent use.
+func (s *Span) StartChild(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := newSpan(name)
+	s.addChild(c)
+	return c
+}
+
+// Record attaches an already-measured interval as a completed child span —
+// how the pipeline runner reports pass timings it measured itself. Safe for
+// concurrent use. Returns the child (nil if dropped or s is nil).
+func (s *Span) Record(name string, start time.Time, d time.Duration) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{name: name, start: start, end: start.Add(d)}
+	if !s.addChild(c) {
+		return nil
+	}
+	return c
+}
+
+func (s *Span) addChild(c *Span) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.children) >= maxSpanChildren {
+		s.dropped++
+		return false
+	}
+	s.children = append(s.children, c)
+	return true
+}
+
+// End marks the span finished now. Idempotent: the first End wins.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.end.IsZero() {
+		s.end = time.Now()
+	}
+	s.mu.Unlock()
+}
+
+// SetAttr attaches a key/value annotation. Safe for concurrent use.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.attrs == nil {
+		s.attrs = make(map[string]string, 4)
+	}
+	s.attrs[key] = value
+	s.mu.Unlock()
+}
+
+// SpanSnapshot is the JSON-serialisable form of a span tree, embedded in
+// result envelopes and served by GET /v1/traces.
+type SpanSnapshot struct {
+	Name    string    `json:"name"`
+	Start   time.Time `json:"start"`
+	Seconds float64   `json:"seconds"`
+	// Attrs carries the span's annotations (backend, cache outcome, shot
+	// counts, ...), keys sorted for deterministic encoding.
+	Attrs map[string]string `json:"attrs,omitempty"`
+	// DroppedChildren counts children discarded past the per-span cap.
+	DroppedChildren int             `json:"droppedChildren,omitempty"`
+	Children        []*SpanSnapshot `json:"children,omitempty"`
+}
+
+// Snapshot renders the span tree. Unfinished spans report their duration so
+// far; children appear in start order.
+func (s *Span) Snapshot() *SpanSnapshot {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	end := s.end
+	if end.IsZero() {
+		end = time.Now()
+	}
+	snap := &SpanSnapshot{
+		Name:            s.name,
+		Start:           s.start,
+		Seconds:         end.Sub(s.start).Seconds(),
+		DroppedChildren: s.dropped,
+	}
+	if len(s.attrs) > 0 {
+		snap.Attrs = make(map[string]string, len(s.attrs))
+		for k, v := range s.attrs {
+			snap.Attrs[k] = v
+		}
+	}
+	children := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+	for _, c := range children {
+		snap.Children = append(snap.Children, c.Snapshot())
+	}
+	sort.SliceStable(snap.Children, func(i, j int) bool {
+		return snap.Children[i].Start.Before(snap.Children[j].Start)
+	})
+	return snap
+}
+
+// WriteTree renders the span tree as an indented text outline — the CLI's
+// -trace output.
+func (snap *SpanSnapshot) WriteTree(w io.Writer) {
+	snap.writeTree(w, 0)
+}
+
+func (snap *SpanSnapshot) writeTree(w io.Writer, depth int) {
+	if snap == nil {
+		return
+	}
+	attrs := ""
+	if len(snap.Attrs) > 0 {
+		keys := make([]string, 0, len(snap.Attrs))
+		for k := range snap.Attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		parts := make([]string, len(keys))
+		for i, k := range keys {
+			parts[i] = k + "=" + snap.Attrs[k]
+		}
+		attrs = "  {" + strings.Join(parts, " ") + "}"
+	}
+	fmt.Fprintf(w, "%s%-*s %9.3fms%s\n", strings.Repeat("  ", depth),
+		32-2*depth, snap.Name, snap.Seconds*1e3, attrs)
+	for _, c := range snap.Children {
+		c.writeTree(w, depth+1)
+	}
+	if snap.DroppedChildren > 0 {
+		fmt.Fprintf(w, "%s(+%d children dropped)\n", strings.Repeat("  ", depth+1), snap.DroppedChildren)
+	}
+}
+
+// Trace is one request-scoped span tree with a stable ID.
+type Trace struct {
+	ID   string
+	Root *Span
+}
+
+// NewTrace starts a trace. An empty id mints a fresh one.
+func NewTrace(id, rootName string) *Trace {
+	if id == "" {
+		id = MintTraceID()
+	}
+	return &Trace{ID: id, Root: newSpan(rootName)}
+}
+
+// MintTraceID returns a 16-hex-char random trace ID.
+func MintTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand never fails on supported platforms; keep the service
+		// alive with a degraded (timestamp-based) ID if it somehow does.
+		return fmt.Sprintf("t%015x", time.Now().UnixNano()&0xfffffffffffffff)
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// ValidTraceID reports whether a client-supplied trace ID is acceptable for
+// propagation: 1..64 characters of [A-Za-z0-9_-]. Anything else is replaced
+// by a minted ID rather than echoed into logs and stores.
+func ValidTraceID(id string) bool {
+	if id == "" || len(id) > 64 {
+		return false
+	}
+	for _, c := range id {
+		ok := c == '-' || c == '_' || c >= '0' && c <= '9' ||
+			c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+type ctxKey int
+
+const (
+	spanKey ctxKey = iota
+	traceIDKey
+)
+
+// ContextWithSpan returns ctx carrying sp; instrumented layers (the pipeline
+// runner, the trajectory engine) discover it with SpanFromContext.
+func ContextWithSpan(ctx context.Context, sp *Span) context.Context {
+	return context.WithValue(ctx, spanKey, sp)
+}
+
+// SpanFromContext returns the current span, or nil when the caller is not
+// traced (the zero-overhead path: instrumentation sites no-op on nil).
+func SpanFromContext(ctx context.Context) *Span {
+	sp, _ := ctx.Value(spanKey).(*Span)
+	return sp
+}
+
+// ContextWithTraceID returns ctx carrying a caller-chosen trace ID (the
+// X-Trace-Id request header); the service mints one when absent.
+func ContextWithTraceID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, traceIDKey, id)
+}
+
+// TraceIDFromContext returns the propagated trace ID, if any.
+func TraceIDFromContext(ctx context.Context) string {
+	id, _ := ctx.Value(traceIDKey).(string)
+	return id
+}
+
+// TraceStore is a bounded ring buffer of finished traces, newest-first over
+// Recent; GET /v1/traces serves it. When full, adding evicts the oldest.
+type TraceStore struct {
+	mu    sync.Mutex
+	buf   []*Trace
+	next  int
+	byID  map[string]*Trace
+	adds  uint64
+	evict uint64
+}
+
+// NewTraceStore returns a store keeping up to capacity traces (min 1).
+func NewTraceStore(capacity int) *TraceStore {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &TraceStore{buf: make([]*Trace, capacity), byID: make(map[string]*Trace, capacity)}
+}
+
+// Add inserts a finished trace, evicting the oldest when full. A re-used
+// trace ID replaces the older entry in the index (the ring slot of the old
+// entry still ages out normally).
+func (ts *TraceStore) Add(t *Trace) {
+	if t == nil {
+		return
+	}
+	ts.mu.Lock()
+	if old := ts.buf[ts.next]; old != nil {
+		ts.evict++
+		if ts.byID[old.ID] == old {
+			delete(ts.byID, old.ID)
+		}
+	}
+	ts.buf[ts.next] = t
+	ts.byID[t.ID] = t
+	ts.next = (ts.next + 1) % len(ts.buf)
+	ts.adds++
+	ts.mu.Unlock()
+}
+
+// Get returns the stored trace with the given ID.
+func (ts *TraceStore) Get(id string) (*Trace, bool) {
+	ts.mu.Lock()
+	t, ok := ts.byID[id]
+	ts.mu.Unlock()
+	return t, ok
+}
+
+// Recent returns up to n traces, newest first (n <= 0 means all stored).
+func (ts *TraceStore) Recent(n int) []*Trace {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	size := len(ts.buf)
+	if n <= 0 || n > size {
+		n = size
+	}
+	out := make([]*Trace, 0, n)
+	for i := 1; i <= size && len(out) < n; i++ {
+		t := ts.buf[(ts.next-i+size)%size]
+		if t != nil {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Len returns the number of stored traces.
+func (ts *TraceStore) Len() int {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	n := 0
+	for _, t := range ts.buf {
+		if t != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Stats reports lifetime adds and evictions (ring churn).
+func (ts *TraceStore) Stats() (adds, evictions uint64) {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return ts.adds, ts.evict
+}

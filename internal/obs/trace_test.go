@@ -1,0 +1,203 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanTree(t *testing.T) {
+	tr := NewTrace("", "job")
+	if !ValidTraceID(tr.ID) {
+		t.Fatalf("minted trace ID %q invalid", tr.ID)
+	}
+	tr.Root.SetAttr("backend", "atomique")
+	q := tr.Root.Record("queue.wait", time.Now().Add(-time.Millisecond), time.Millisecond)
+	if q == nil {
+		t.Fatal("Record returned nil")
+	}
+	c := tr.Root.StartChild("compile")
+	c.Record("pass:route", time.Now(), 500*time.Microsecond)
+	c.End()
+	tr.Root.End()
+
+	snap := tr.Root.Snapshot()
+	if snap.Name != "job" || len(snap.Children) != 2 {
+		t.Fatalf("snapshot shape wrong: %+v", snap)
+	}
+	if snap.Attrs["backend"] != "atomique" {
+		t.Errorf("attrs lost: %v", snap.Attrs)
+	}
+	// Children sorted by start: queue.wait began 1ms before compile.
+	if snap.Children[0].Name != "queue.wait" || snap.Children[1].Name != "compile" {
+		t.Errorf("children order: %s, %s", snap.Children[0].Name, snap.Children[1].Name)
+	}
+	if len(snap.Children[1].Children) != 1 || snap.Children[1].Children[0].Name != "pass:route" {
+		t.Errorf("nested span lost: %+v", snap.Children[1])
+	}
+	var buf bytes.Buffer
+	snap.WriteTree(&buf)
+	if !strings.Contains(buf.String(), "pass:route") {
+		t.Errorf("WriteTree missing nested span:\n%s", buf.String())
+	}
+}
+
+// TestSpanNilSafety: all span methods must no-op on nil receivers — that is
+// the untraced fast path every instrumentation site relies on.
+func TestSpanNilSafety(t *testing.T) {
+	var s *Span
+	s.SetAttr("a", "b")
+	s.End()
+	if c := s.StartChild("x"); c != nil {
+		t.Error("nil StartChild returned non-nil")
+	}
+	if c := s.Record("x", time.Now(), 0); c != nil {
+		t.Error("nil Record returned non-nil")
+	}
+	if snap := s.Snapshot(); snap != nil {
+		t.Error("nil Snapshot returned non-nil")
+	}
+}
+
+// TestSpanConcurrentChildren records children from many goroutines (the
+// trajectory chunk pattern) and checks the cap + dropped accounting.
+func TestSpanConcurrentChildren(t *testing.T) {
+	root := newSpan("trajectory")
+	const n = 500
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			root.Record(fmt.Sprintf("chunk-%d", i), time.Now(), time.Microsecond)
+		}()
+	}
+	wg.Wait()
+	root.End()
+	snap := root.Snapshot()
+	if len(snap.Children) != maxSpanChildren {
+		t.Errorf("kept %d children, want cap %d", len(snap.Children), maxSpanChildren)
+	}
+	if snap.DroppedChildren != n-maxSpanChildren {
+		t.Errorf("dropped = %d, want %d", snap.DroppedChildren, n-maxSpanChildren)
+	}
+}
+
+func TestContextPropagation(t *testing.T) {
+	ctx := context.Background()
+	if SpanFromContext(ctx) != nil {
+		t.Fatal("empty context carries a span")
+	}
+	sp := newSpan("root")
+	ctx = ContextWithSpan(ctx, sp)
+	if SpanFromContext(ctx) != sp {
+		t.Fatal("span not propagated")
+	}
+	if TraceIDFromContext(ctx) != "" {
+		t.Fatal("empty trace ID expected")
+	}
+	ctx = ContextWithTraceID(ctx, "abc123")
+	if TraceIDFromContext(ctx) != "abc123" {
+		t.Fatal("trace ID not propagated")
+	}
+}
+
+func TestValidTraceID(t *testing.T) {
+	for id, want := range map[string]bool{
+		"":                      false,
+		"abc":                   true,
+		"A-b_9":                 true,
+		strings.Repeat("a", 64): true,
+		strings.Repeat("a", 65): false,
+		"has space":             false,
+		"newline\n":             false,
+		`quote"`:                false,
+	} {
+		if got := ValidTraceID(id); got != want {
+			t.Errorf("ValidTraceID(%q) = %v, want %v", id, got, want)
+		}
+	}
+}
+
+func TestMintTraceIDUnique(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 1000; i++ {
+		id := MintTraceID()
+		if !ValidTraceID(id) {
+			t.Fatalf("minted invalid ID %q", id)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate minted ID %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestTraceStoreRing(t *testing.T) {
+	ts := NewTraceStore(3)
+	var ids []string
+	for i := 0; i < 5; i++ {
+		tr := NewTrace(fmt.Sprintf("id-%d", i), "job")
+		tr.Root.End()
+		ts.Add(tr)
+		ids = append(ids, tr.ID)
+	}
+	if ts.Len() != 3 {
+		t.Fatalf("len = %d, want 3", ts.Len())
+	}
+	// Oldest two evicted.
+	for _, id := range ids[:2] {
+		if _, ok := ts.Get(id); ok {
+			t.Errorf("evicted trace %s still retrievable", id)
+		}
+	}
+	for _, id := range ids[2:] {
+		if _, ok := ts.Get(id); !ok {
+			t.Errorf("trace %s missing", id)
+		}
+	}
+	recent := ts.Recent(0)
+	if len(recent) != 3 || recent[0].ID != "id-4" || recent[2].ID != "id-2" {
+		got := make([]string, len(recent))
+		for i, tr := range recent {
+			got[i] = tr.ID
+		}
+		t.Errorf("Recent order = %v, want [id-4 id-3 id-2]", got)
+	}
+	if got := ts.Recent(1); len(got) != 1 || got[0].ID != "id-4" {
+		t.Errorf("Recent(1) wrong: %v", got)
+	}
+	adds, evict := ts.Stats()
+	if adds != 5 || evict != 2 {
+		t.Errorf("stats = (%d, %d), want (5, 2)", adds, evict)
+	}
+}
+
+// TestTraceStoreConcurrent adds from many goroutines under -race.
+func TestTraceStoreConcurrent(t *testing.T) {
+	ts := NewTraceStore(16)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				tr := NewTrace(fmt.Sprintf("w%d-%d", w, i), "job")
+				tr.Root.End()
+				ts.Add(tr)
+				ts.Recent(4)
+				ts.Get(tr.ID)
+			}
+		}()
+	}
+	wg.Wait()
+	if ts.Len() != 16 {
+		t.Errorf("len = %d, want 16", ts.Len())
+	}
+}

@@ -14,9 +14,11 @@ package pipeline
 import (
 	"context"
 	"fmt"
+	"strconv"
 	"time"
 
 	"atomique/internal/metrics"
+	"atomique/internal/obs"
 )
 
 // Pass is one compilation stage. Run mutates the shared State in place; a
@@ -63,7 +65,14 @@ func (p *Pipeline) Names() []string {
 // aborts the pipeline between passes (long-running passes additionally
 // check ctx internally, e.g. the router's per-stage checkpoint). On error
 // the timings of the passes that completed are returned alongside it.
+//
+// When ctx carries an obs span (the compile service's traced path), every
+// completed pass is additionally recorded as a child span named
+// "pass:<name>" carrying the measured gate/move counts — the same numbers
+// PassTiming reports, so traces and metrics never disagree. Untraced callers
+// pay only a nil check per pass.
 func (p *Pipeline) Run(ctx context.Context, st *State) ([]metrics.PassTiming, error) {
+	sp := obs.SpanFromContext(ctx)
 	timings := make([]metrics.PassTiming, 0, len(p.passes))
 	for _, pass := range p.passes {
 		if err := ctx.Err(); err != nil {
@@ -73,12 +82,19 @@ func (p *Pipeline) Run(ctx context.Context, st *State) ([]metrics.PassTiming, er
 		if err := pass.Run(ctx, st); err != nil {
 			return timings, fmt.Errorf("pipeline: pass %s: %w", pass.Name(), err)
 		}
+		elapsed := time.Since(start)
 		timings = append(timings, metrics.PassTiming{
 			Name:    pass.Name(),
-			Seconds: time.Since(start).Seconds(),
+			Seconds: elapsed.Seconds(),
 			Gates:   st.GateCount(),
 			Moves:   st.MoveCount(),
 		})
+		if sp != nil {
+			if c := sp.Record("pass:"+pass.Name(), start, elapsed); c != nil {
+				c.SetAttr("gates", strconv.Itoa(st.GateCount()))
+				c.SetAttr("moves", strconv.Itoa(st.MoveCount()))
+			}
+		}
 	}
 	return timings, nil
 }

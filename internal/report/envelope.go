@@ -2,10 +2,12 @@ package report
 
 import (
 	"encoding/json"
+	"fmt"
 	"math"
 
 	"atomique/internal/metrics"
 	"atomique/internal/noise"
+	"atomique/internal/obs"
 )
 
 // Envelope is the JSON-serialisable compilation-result record the compile
@@ -40,6 +42,15 @@ type Envelope struct {
 	ErrorBreakdown map[string]float64 `json:"errorBreakdown,omitempty"`
 	// CompileSeconds is the compile wall time in seconds.
 	CompileSeconds float64 `json:"compileSeconds"`
+	// TraceID correlates this result with the request-scoped trace the
+	// service recorded (X-Trace-Id header, GET /v1/traces, log lines). It is
+	// request-scoped, not content-addressed: the service splices it into the
+	// cached envelope bytes per job, so the cache itself stays trace-free and
+	// byte-identical across requests.
+	TraceID string `json:"traceId,omitempty"`
+	// Trace is the request's span tree: queue wait, cache lookup, pipeline
+	// passes, noise-trajectory chunks. Request-scoped like TraceID.
+	Trace *obs.SpanSnapshot `json:"trace,omitempty"`
 }
 
 // NewEnvelope builds the envelope for a compilation outcome.
@@ -85,6 +96,20 @@ func (e Envelope) EncodeJSON() ([]byte, error) {
 	return json.Marshal(e)
 }
 
+// WithTrace re-encodes cached envelope bytes with the request's trace
+// spliced in. The cache stores trace-free envelopes (identical bytes per
+// content key); each job that serves one attaches its own trace here, so two
+// requests hitting the same cache entry still get distinct, accurate traces.
+func WithTrace(raw []byte, traceID string, trace *obs.SpanSnapshot) ([]byte, error) {
+	var e Envelope
+	if err := json.Unmarshal(raw, &e); err != nil {
+		return nil, fmt.Errorf("report: decode cached envelope: %w", err)
+	}
+	e.TraceID = traceID
+	e.Trace = trace
+	return e.EncodeJSON()
+}
+
 // Canonical returns the envelope with every wall-clock measurement zeroed:
 // CompileSeconds, Metrics.CompileTime, and the per-pass Seconds (pass names
 // and gate/move counts stay — they are deterministic per seed). Two compiles
@@ -94,6 +119,8 @@ func (e Envelope) EncodeJSON() ([]byte, error) {
 func (e Envelope) Canonical() Envelope {
 	e.CompileSeconds = 0
 	e.Metrics.CompileTime = 0
+	e.TraceID = ""
+	e.Trace = nil
 	if len(e.Metrics.Passes) > 0 {
 		passes := make([]metrics.PassTiming, len(e.Metrics.Passes))
 		copy(passes, e.Metrics.Passes)

@@ -6,14 +6,20 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
-	"sync"
+	"time"
 
 	"atomique/internal/bench"
 	"atomique/internal/compiler"
+	"atomique/internal/obs"
 )
 
 // maxBodyBytes bounds request bodies (inline QASM included).
 const maxBodyBytes = 8 << 20
+
+// TraceHeader is the request/response header carrying the trace ID. Clients
+// may supply their own (validated by obs.ValidTraceID; invalid values are
+// ignored and a fresh ID minted); compile responses echo the job's ID back.
+const TraceHeader = "X-Trace-Id"
 
 // errorBody is the JSON error payload of every non-2xx response.
 type errorBody struct {
@@ -57,6 +63,13 @@ const DefaultSimulateShots = 1024
 //	GET    /v1/benchmarks        named benchmark registry
 //	GET    /v1/healthz           liveness probe
 //	GET    /v1/stats             queue/worker/cache counters
+//	GET    /v1/traces            recent request traces (?limit=N)
+//	GET    /v1/traces/{id}       one trace by ID
+//	GET    /metrics              Prometheus text exposition
+//
+// Every request passes through the trace middleware: an X-Trace-Id request
+// header (when valid) names the job's trace, compile responses echo the
+// job's trace ID back in the same header, and each request is access-logged.
 func (e *Engine) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/compile", e.handleCompile)
@@ -69,7 +82,45 @@ func (e *Engine) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/benchmarks", e.handleBenchmarks)
 	mux.HandleFunc("GET /v1/healthz", e.handleHealthz)
 	mux.HandleFunc("GET /v1/stats", e.handleStats)
-	return mux
+	mux.HandleFunc("GET /v1/traces", e.handleTraces)
+	mux.HandleFunc("GET /v1/traces/{id}", e.handleTraceGet)
+	mux.Handle("GET /metrics", e.MetricsHandler())
+	return e.instrument(mux)
+}
+
+// MetricsHandler serves the Prometheus text exposition alone; cmd/atomiqued
+// also mounts it on the ops listener next to pprof so scrapes need not share
+// the API port.
+func (e *Engine) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		e.tel.registry.WritePrometheus(w) //nolint:errcheck // client gone; nothing to do
+	})
+}
+
+// statusWriter records the response code for the access log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps the API mux with trace-ID extraction and access logging.
+func (e *Engine) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if id := r.Header.Get(TraceHeader); id != "" && obs.ValidTraceID(id) {
+			r = r.WithContext(obs.ContextWithTraceID(r.Context(), id))
+		}
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		e.tel.log.Info("http request", "method", r.Method, "path", r.URL.Path,
+			"status", sw.status, "seconds", time.Since(start).Seconds())
+	})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v interface{}) {
@@ -133,11 +184,12 @@ func (e *Engine) serveCompile(w http.ResponseWriter, r *http.Request, req Reques
 			return
 		}
 		if async {
-			jv, err := e.Submit(req)
+			jv, err := e.Submit(r.Context(), req)
 			if err != nil {
 				writeError(w, err)
 				return
 			}
+			w.Header().Set(TraceHeader, jv.TraceID)
 			writeJSON(w, http.StatusAccepted, jv)
 			return
 		}
@@ -147,6 +199,7 @@ func (e *Engine) serveCompile(w http.ResponseWriter, r *http.Request, req Reques
 		writeError(w, err)
 		return
 	}
+	w.Header().Set(TraceHeader, jv.TraceID)
 	writeJSON(w, jobStatus(jv), jv)
 }
 
@@ -249,9 +302,11 @@ func (e *Engine) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, jv)
 }
 
-// benchmarkInfos memoises the /v1/benchmarks payload: the registry is fixed
-// and ComputeStats over the full suite is too costly per request.
-var benchmarkInfos = sync.OnceValue(func() []benchmarkInfo {
+// computeBenchmarkInfos builds the /v1/benchmarks payload. It runs once, at
+// engine construction (the registry is immutable after init and ComputeStats
+// over the full suite is too costly per request), so the first scrape after
+// boot is as cheap as the thousandth.
+func computeBenchmarkInfos() []benchmarkInfo {
 	suite := bench.Table2Suite()
 	infos := make([]benchmarkInfo, len(suite))
 	for i, b := range suite {
@@ -259,10 +314,49 @@ var benchmarkInfos = sync.OnceValue(func() []benchmarkInfo {
 		infos[i] = benchmarkInfo{Name: b.Name, Type: b.Type, NQubits: s.Qubits, N2Q: s.Num2Q, N1Q: s.Num1Q}
 	}
 	return infos
-})
+}
 
 func (e *Engine) handleBenchmarks(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, benchmarkInfos())
+	writeJSON(w, http.StatusOK, e.benchInfos)
+}
+
+// traceView is one GET /v1/traces entry: the trace ID plus its span tree.
+type traceView struct {
+	TraceID string            `json:"traceId"`
+	Spans   *obs.SpanSnapshot `json:"spans"`
+}
+
+func traceViewOf(tr *obs.Trace) traceView {
+	return traceView{TraceID: tr.ID, Spans: tr.Root.Snapshot()}
+}
+
+// handleTraces lists recently finished traces, newest first (?limit=N,
+// default 50, bounded by the engine's trace ring).
+func (e *Engine) handleTraces(w http.ResponseWriter, r *http.Request) {
+	limit := 50
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("bad limit %q", v)})
+			return
+		}
+		limit = n
+	}
+	recent := e.tel.traces.Recent(limit)
+	views := make([]traceView, len(recent))
+	for i, tr := range recent {
+		views[i] = traceViewOf(tr)
+	}
+	writeJSON(w, http.StatusOK, views)
+}
+
+func (e *Engine) handleTraceGet(w http.ResponseWriter, r *http.Request) {
+	tr, ok := e.tel.traces.Get(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown or evicted trace"})
+		return
+	}
+	writeJSON(w, http.StatusOK, traceViewOf(tr))
 }
 
 // backendInfo is one GET /v1/backends entry.

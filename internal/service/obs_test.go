@@ -1,0 +1,250 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"atomique/internal/obs"
+	"atomique/internal/report"
+)
+
+// spanNames flattens a span tree into the set of span names it contains.
+func spanNames(s *obs.SpanSnapshot, into map[string]int) {
+	if s == nil {
+		return
+	}
+	into[s.Name]++
+	for _, c := range s.Children {
+		spanNames(c, into)
+	}
+}
+
+// TestTraceCoversPipelineStages is the tentpole acceptance check: a noisy
+// simulate job's envelope carries a trace ID and a span tree covering queue
+// wait, cache lookup, every pipeline pass, witness replay, and the
+// noise-trajectory stage.
+func TestTraceCoversPipelineStages(t *testing.T) {
+	e := New(Config{Workers: 2})
+	defer e.Close()
+	j, err := e.Compile(context.Background(), Request{Benchmark: "H2-4", Seed: 1, Shots: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.State != StateDone {
+		t.Fatalf("state = %s (%s)", j.State, j.Error)
+	}
+	if j.TraceID == "" || !obs.ValidTraceID(j.TraceID) {
+		t.Fatalf("job snapshot trace ID %q invalid", j.TraceID)
+	}
+	var env report.Envelope
+	if err := json.Unmarshal(j.Result, &env); err != nil {
+		t.Fatal(err)
+	}
+	if env.TraceID != j.TraceID {
+		t.Errorf("envelope traceId = %q, job = %q", env.TraceID, j.TraceID)
+	}
+	if env.Trace == nil {
+		t.Fatal("envelope carries no span tree")
+	}
+	names := make(map[string]int)
+	spanNames(env.Trace, names)
+	for _, want := range []string{
+		"job", "queue.wait", "cache.lookup", "compile",
+		"pass:map-arrays", "pass:map-atoms", "pass:route", "pass:fidelity",
+		"witness.replay", "noise.trajectory",
+	} {
+		if names[want] == 0 {
+			t.Errorf("trace missing span %q (have %v)", want, names)
+		}
+	}
+
+	// A cache hit of the same request gets its own trace: fresh ID, a
+	// cache.lookup span, and no compile span (no work happened).
+	again, err := e.Compile(context.Background(), Request{Benchmark: "H2-4", Seed: 1, Shots: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.Cached {
+		t.Fatal("repeat request not cached")
+	}
+	if again.TraceID == j.TraceID {
+		t.Error("cached job reused the original trace ID")
+	}
+	var cachedEnv report.Envelope
+	if err := json.Unmarshal(again.Result, &cachedEnv); err != nil {
+		t.Fatal(err)
+	}
+	cachedNames := make(map[string]int)
+	spanNames(cachedEnv.Trace, cachedNames)
+	if cachedNames["cache.lookup"] == 0 {
+		t.Errorf("cached job trace missing cache.lookup: %v", cachedNames)
+	}
+	if cachedNames["compile"] != 0 {
+		t.Errorf("cached job trace claims a compile happened: %v", cachedNames)
+	}
+}
+
+// TestMetricsEndpoint exercises GET /metrics after real traffic: the output
+// must parse as valid Prometheus exposition and contain the per
+// backend x class latency percentiles plus the queue/cache/worker gauges.
+func TestMetricsEndpoint(t *testing.T) {
+	_, srv := newTestServer(t, Config{Workers: 2})
+	if resp, body := postJSON(t, srv.URL+"/v1/compile", Request{Benchmark: "H2-4", Seed: 1}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("compile status = %d, body %s", resp.StatusCode, body)
+	}
+	if resp, body := postJSON(t, srv.URL+"/v1/simulate", Request{Benchmark: "H2-4", Seed: 1, Shots: 128}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("simulate status = %d, body %s", resp.StatusCode, body)
+	}
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := obs.ParseExposition(bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("exposition invalid: %v\n%s", err, body)
+	}
+	if n == 0 {
+		t.Fatal("exposition carries no samples")
+	}
+	for _, want := range []string{
+		`atomique_request_duration_seconds_p50{backend="atomique",class="compile"}`,
+		`atomique_request_duration_seconds_p90{backend="atomique",class="simulate"}`,
+		`atomique_request_duration_seconds_p99{backend="atomique",class="compile"}`,
+		`atomique_requests_total{backend="atomique",class="simulate",outcome="done"}`,
+		`atomique_queue_wait_seconds_count`,
+		`atomique_cache_events_total{event="miss"}`,
+		`atomique_pass_seconds_total{pass="route"}`,
+		`atomique_trajectory_shots_total 128`,
+		"atomique_queue_depth", "atomique_queue_capacity",
+		"atomique_workers ", "atomique_workers_busy",
+		"atomique_cache_entries", "atomique_uptime_seconds",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+// TestTracesEndpointAndHeader covers client-supplied X-Trace-Id propagation
+// (header in, header out, envelope, /v1/traces lookup) and rejection of
+// malformed IDs.
+func TestTracesEndpointAndHeader(t *testing.T) {
+	_, srv := newTestServer(t, Config{Workers: 2})
+
+	js, err := json.Marshal(Request{Benchmark: "H2-4", Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, srv.URL+"/v1/compile", bytes.NewReader(js))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(TraceHeader, "my-trace-01")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get(TraceHeader); got != "my-trace-01" {
+		t.Errorf("response %s = %q, want my-trace-01", TraceHeader, got)
+	}
+	var jv Job
+	if err := json.Unmarshal(body, &jv); err != nil {
+		t.Fatal(err)
+	}
+	if jv.TraceID != "my-trace-01" {
+		t.Errorf("job traceId = %q, want my-trace-01", jv.TraceID)
+	}
+
+	// The finished trace is browsable, individually and in the listing.
+	var tv struct {
+		TraceID string            `json:"traceId"`
+		Spans   *obs.SpanSnapshot `json:"spans"`
+	}
+	if resp := getJSON(t, srv.URL+"/v1/traces/my-trace-01", &tv); resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace get status = %d", resp.StatusCode)
+	}
+	if tv.TraceID != "my-trace-01" || tv.Spans == nil || tv.Spans.Name != "job" {
+		t.Errorf("trace payload wrong: %+v", tv)
+	}
+	var listing []struct {
+		TraceID string `json:"traceId"`
+	}
+	if resp := getJSON(t, srv.URL+"/v1/traces?limit=10", &listing); resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace list status = %d", resp.StatusCode)
+	}
+	found := false
+	for _, item := range listing {
+		found = found || item.TraceID == "my-trace-01"
+	}
+	if !found {
+		t.Errorf("trace listing misses my-trace-01: %+v", listing)
+	}
+	if resp := getJSON(t, srv.URL+"/v1/traces/nope", nil); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown trace status = %d, want 404", resp.StatusCode)
+	}
+
+	// A malformed client trace ID is ignored; the service mints its own.
+	req2, err := http.NewRequest(http.MethodPost, srv.URL+"/v1/compile", bytes.NewReader(js))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req2.Header.Set("Content-Type", "application/json")
+	req2.Header.Set(TraceHeader, "has spaces and \"quotes\"")
+	resp2, err := http.DefaultClient.Do(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body2, _ := io.ReadAll(resp2.Body)
+	resp2.Body.Close()
+	var jv2 Job
+	if err := json.Unmarshal(body2, &jv2); err != nil {
+		t.Fatal(err)
+	}
+	if jv2.TraceID == "" || !obs.ValidTraceID(jv2.TraceID) {
+		t.Errorf("minted trace ID %q invalid", jv2.TraceID)
+	}
+}
+
+// TestStatsCarriesLatencies checks the /v1/stats extension: per
+// backend/class latency quantiles and the busy-worker gauge.
+func TestStatsCarriesLatencies(t *testing.T) {
+	e := New(Config{Workers: 2})
+	defer e.Close()
+	if _, err := e.Compile(context.Background(), Request{Benchmark: "H2-4", Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	q, ok := st.Latencies["atomique/compile"]
+	if !ok {
+		t.Fatalf("stats latencies missing atomique/compile: %v", st.Latencies)
+	}
+	if q.Count != 1 || q.Sum <= 0 || q.P50 <= 0 {
+		t.Errorf("latency summary implausible: %+v", q)
+	}
+	if st.WorkersBusy < 0 || st.WorkersBusy > st.Workers {
+		t.Errorf("workersBusy = %d out of range", st.WorkersBusy)
+	}
+}

@@ -18,7 +18,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -29,6 +31,7 @@ import (
 	"atomique/internal/hardware"
 	"atomique/internal/metrics"
 	"atomique/internal/noise"
+	"atomique/internal/obs"
 	"atomique/internal/qasm"
 	"atomique/internal/report"
 
@@ -66,6 +69,12 @@ type Config struct {
 	// Hardware is the default machine for requests without an override
 	// (default: hardware.DefaultConfig).
 	Hardware hardware.Config
+	// TraceBuffer bounds the finished-trace ring buffer behind GET
+	// /v1/traces (default: 256).
+	TraceBuffer int
+	// Logger receives structured job-lifecycle events, correlated by trace
+	// ID (default: discard). cmd/atomiqued passes a JSON logger here.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -77,6 +86,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CacheSize <= 0 {
 		c.CacheSize = 256
+	}
+	if c.TraceBuffer <= 0 {
+		c.TraceBuffer = 256
 	}
 	// Only a fully zero Hardware gets the paper default; a non-zero but
 	// invalid machine (e.g. an SLM with no AODs) is kept and rejected loudly
@@ -148,6 +160,7 @@ const (
 type Job struct {
 	ID          string          `json:"id"`
 	State       State           `json:"state"`
+	TraceID     string          `json:"traceId,omitempty"`
 	Backend     string          `json:"backend,omitempty"`
 	Benchmark   string          `json:"benchmark,omitempty"`
 	CircuitHash string          `json:"circuitHash"`
@@ -164,6 +177,7 @@ type task struct {
 	label   string // benchmark name or request label, informational only
 	hash    string // circuit fingerprint
 	key     string // cache key
+	class   string // request class: ClassCompile or ClassSimulate
 	backend compiler.Backend
 	target  compiler.Target
 	circ    *circuit.Circuit
@@ -178,6 +192,11 @@ type job struct {
 	cancel context.CancelFunc
 	done   chan struct{} // closed exactly once, by finish
 
+	// trace is the job's request-scoped span tree; its root spans the whole
+	// job and every instrumented stage (queue wait, cache lookup, pipeline
+	// passes, noise trajectory) hangs off it via j.ctx.
+	trace *obs.Trace
+
 	mu         sync.Mutex
 	state      State
 	finalized  bool // finish already ran; later finish/run calls are no-ops
@@ -185,12 +204,17 @@ type job struct {
 	cached     bool
 	submitted  time.Time
 	finishedAt time.Time
+	// tracedJSON memoises the cached envelope bytes with this job's trace
+	// spliced in; built lazily on first snapshot that carries a result, so
+	// the in-process metrics path never pays for it.
+	tracedJSON []byte
 }
 
 // Stats is the /v1/stats payload: queue, worker, cache, and per-pass
 // pipeline counters.
 type Stats struct {
 	Workers       int     `json:"workers"`
+	WorkersBusy   int     `json:"workersBusy"`
 	QueueCapacity int     `json:"queueCapacity"`
 	QueueDepth    int     `json:"queueDepth"`
 	Submitted     uint64  `json:"submitted"`
@@ -208,6 +232,10 @@ type Stats struct {
 	// show where compile time goes fleet-wide (avg = seconds/runs).
 	PassSeconds map[string]float64 `json:"passSeconds,omitempty"`
 	PassRuns    uint64             `json:"passRuns,omitempty"`
+	// Latencies summarises end-to-end job latency per "backend/class"
+	// (e.g. "atomique/compile"): count, sum, and p50/p90/p99 estimated from
+	// the same log-bucketed histograms GET /metrics exposes.
+	Latencies map[string]obs.Quantiles `json:"latencies,omitempty"`
 }
 
 // compileFunc is the engine's compilation seam; tests substitute it to
@@ -227,6 +255,14 @@ type Engine struct {
 	queue   chan *job
 	cache   *lruCache
 	compile compileFunc
+	// tel bundles the engine's observability surface: metrics registry
+	// (GET /metrics), finished-trace ring (GET /v1/traces), and logger.
+	tel *telemetry
+	// busy counts workers currently executing a job (workers_busy gauge).
+	busy atomic.Int64
+	// benchInfos is the /v1/benchmarks payload, computed once at engine
+	// construction (the registry is immutable after init).
+	benchInfos []benchmarkInfo
 
 	ctx    context.Context
 	stop   context.CancelFunc
@@ -280,6 +316,8 @@ func newEngine(cfg Config, fn compileFunc) *Engine {
 		jobs:        make(map[string]*job),
 		passSeconds: make(map[string]float64),
 	}
+	e.tel = newTelemetry(e, cfg.Logger, cfg.TraceBuffer)
+	e.benchInfos = computeBenchmarkInfos()
 	for i := 0; i < cfg.Workers; i++ {
 		e.wg.Add(1)
 		go e.worker()
@@ -420,6 +458,7 @@ func (e *Engine) resolve(req Request) (task, error) {
 		label:   label,
 		hash:    hash,
 		key:     cacheKey(be.Name(), hash, tgt, opts),
+		class:   classOf(opts.NoisyShots),
 		backend: be,
 		target:  tgt,
 		circ:    circ,
@@ -541,18 +580,30 @@ func cacheKey(backend, fingerprint string, tgt compiler.Target, opts compiler.Op
 	return hex.EncodeToString(h.Sum(nil))
 }
 
-// newJob registers a queued job for a resolved task.
-func (e *Engine) newJob(t task) *job {
-	ctx, cancel := context.WithCancel(e.ctx)
+// newJob registers a queued job for a resolved task. callerCtx may carry a
+// client-chosen trace ID (X-Trace-Id, validated by the HTTP layer); otherwise
+// one is minted. The job's own context carries the trace root span, so every
+// instrumentation site downstream (cache lookup, pipeline passes, noise
+// trajectory) attaches to it without further plumbing.
+func (e *Engine) newJob(callerCtx context.Context, t task) *job {
+	tr := obs.NewTrace(obs.TraceIDFromContext(callerCtx), "job")
+	tr.Root.SetAttr("class", t.class)
+	tr.Root.SetAttr("benchmark", t.label)
+	if t.backend != nil {
+		tr.Root.SetAttr("backend", t.backend.Name())
+	}
+	ctx, cancel := context.WithCancel(obs.ContextWithSpan(e.ctx, tr.Root))
 	j := &job{
 		id:        fmt.Sprintf("job-%06d", e.seq.Add(1)),
 		task:      t,
 		ctx:       ctx,
 		cancel:    cancel,
 		done:      make(chan struct{}),
+		trace:     tr,
 		state:     StateQueued,
 		submitted: time.Now(),
 	}
+	tr.Root.SetAttr("job", j.id)
 	e.mu.Lock()
 	e.jobs[j.id] = j
 	e.mu.Unlock()
@@ -560,8 +611,10 @@ func (e *Engine) newJob(t task) *job {
 }
 
 // Submit resolves and enqueues a job without waiting for it, failing fast
-// with ErrQueueFull when the queue is at capacity.
-func (e *Engine) Submit(req Request) (*Job, error) {
+// with ErrQueueFull when the queue is at capacity. ctx is consulted only for
+// a request-scoped trace ID (obs.ContextWithTraceID); it does not bound the
+// job's lifetime.
+func (e *Engine) Submit(ctx context.Context, req Request) (*Job, error) {
 	t, err := e.resolve(req)
 	if err != nil {
 		return nil, err
@@ -570,16 +623,38 @@ func (e *Engine) Submit(req Request) (*Job, error) {
 		return nil, ErrClosed
 	}
 	defer e.inFlight.Done()
-	j := e.newJob(t)
+	j := e.newJob(ctx, t)
 	select {
 	case e.queue <- j:
 		e.submitted.Add(1)
+		e.logJob(j, "job queued")
 		return e.snapshot(j), nil
 	default:
 		e.rejected.Add(1)
+		e.tel.requests.With(backendLabel(t), t.class, outcomeRejected).Inc()
+		e.tel.log.Warn("job rejected: queue full",
+			"backend", backendLabel(t), "class", t.class, "benchmark", t.label)
 		e.dropJob(j)
 		return nil, ErrQueueFull
 	}
+}
+
+// backendLabel names a task's backend for metric labels.
+func backendLabel(t task) string {
+	if t.backend == nil {
+		return "unknown"
+	}
+	return t.backend.Name()
+}
+
+// logJob emits one structured lifecycle event correlated by trace ID.
+func (e *Engine) logJob(j *job, msg string, extra ...any) {
+	args := append([]any{
+		"job", j.id, "traceId", j.trace.ID,
+		"backend", backendLabel(j.task), "class", j.task.class,
+		"benchmark", j.task.label,
+	}, extra...)
+	e.tel.log.Info(msg, args...)
 }
 
 // submitBlocking enqueues a job, waiting for queue space until ctx or the
@@ -590,10 +665,11 @@ func (e *Engine) submitBlocking(ctx context.Context, t task) (*job, error) {
 		return nil, ErrClosed
 	}
 	defer e.inFlight.Done()
-	j := e.newJob(t)
+	j := e.newJob(ctx, t)
 	select {
 	case e.queue <- j:
 		e.submitted.Add(1)
+		e.logJob(j, "job queued")
 		return j, nil
 	case <-ctx.Done():
 		e.dropJob(j)
@@ -632,7 +708,7 @@ func (e *Engine) Wait(ctx context.Context, id string) (*Job, error) {
 // Compile is the synchronous path: resolve, enqueue (fail-fast), wait. If
 // the caller gives up before completion, the job is cancelled.
 func (e *Engine) Compile(ctx context.Context, req Request) (*Job, error) {
-	jv, err := e.Submit(req)
+	jv, err := e.Submit(ctx, req)
 	if err != nil {
 		return nil, err
 	}
@@ -663,7 +739,7 @@ func (e *Engine) CompileMetrics(ctx context.Context, cfg hardware.Config, circ *
 	}
 	tgt := compiler.FPQA(cfg)
 	t := task{label: "in-process", hash: hash, key: cacheKey(be.Name(), hash, tgt, opts),
-		backend: be, target: tgt, circ: circ, opts: opts}
+		class: classOf(opts.NoisyShots), backend: be, target: tgt, circ: circ, opts: opts}
 	j, err := e.submitBlocking(ctx, t)
 	if err != nil {
 		return metrics.Compiled{}, err
@@ -730,10 +806,16 @@ func (e *Engine) Stats() Stats {
 	}
 	passRuns := e.passRuns
 	e.passMu.Unlock()
+	latencies := make(map[string]obs.Quantiles)
+	e.tel.latency.Each(func(labels []string, h *obs.Histogram) {
+		latencies[labels[0]+"/"+labels[1]] = h.Quantiles()
+	})
 	return Stats{
 		PassSeconds:   passSeconds,
 		PassRuns:      passRuns,
+		Latencies:     latencies,
 		Workers:       e.cfg.Workers,
+		WorkersBusy:   int(e.busy.Load()),
 		QueueCapacity: e.cfg.QueueSize,
 		QueueDepth:    len(e.queue),
 		Submitted:     e.submitted.Load(),
@@ -773,8 +855,13 @@ func (e *Engine) run(j *job) {
 		return
 	}
 	j.state = StateRunning
+	waited := time.Since(j.submitted)
 	j.mu.Unlock()
+	e.tel.queueWait.Observe(waited.Seconds())
+	j.trace.Root.Record("queue.wait", j.submitted, waited)
+	e.busy.Add(1)
 	out, cached := e.compute(j.ctx, j.task)
+	e.busy.Add(-1)
 	e.finish(j, out, cached)
 }
 
@@ -783,10 +870,16 @@ func (e *Engine) run(j *job) {
 // on its entry (counted as cache hits — no duplicate work happens). If an
 // owner is cancelled mid-compile, a live waiter retries and takes ownership.
 func (e *Engine) compute(ctx context.Context, t task) (*outcome, bool) {
+	sp := obs.SpanFromContext(ctx)
 	for {
+		lookupStart := time.Now()
 		ent, hit := e.cache.getOrReserve(t.key)
 		if !hit {
 			e.misses.Add(1)
+			e.tel.cacheEvents.With(cacheMiss).Inc()
+			if c := sp.Record("cache.lookup", lookupStart, time.Since(lookupStart)); c != nil {
+				c.SetAttr("outcome", cacheMiss)
+			}
 			out := e.execute(ctx, t)
 			e.cache.fulfill(ent, out)
 			if out.err != nil || out.timedOut {
@@ -800,6 +893,19 @@ func (e *Engine) compute(ctx context.Context, t task) (*outcome, bool) {
 			}
 			return out, false
 		}
+		// Distinguish a finished-entry hit from coalescing onto an identical
+		// in-flight compilation; the coalesce count is in addition to the hit
+		// recorded once the entry resolves.
+		lookupOutcome := cacheHit
+		select {
+		case <-ent.done:
+		default:
+			lookupOutcome = cacheCoalesce
+			e.tel.cacheEvents.With(cacheCoalesce).Inc()
+		}
+		if c := sp.Record("cache.lookup", lookupStart, time.Since(lookupStart)); c != nil {
+			c.SetAttr("outcome", lookupOutcome)
+		}
 		select {
 		case <-ent.done:
 			out := ent.out
@@ -807,6 +913,7 @@ func (e *Engine) compute(ctx context.Context, t task) (*outcome, bool) {
 				continue // the owner was cancelled, not us: take over
 			}
 			e.hits.Add(1)
+			e.tel.cacheEvents.With(cacheHit).Inc()
 			return out, true
 		case <-ctx.Done():
 			return &outcome{err: fmt.Errorf("service: compilation cancelled: %w", ctx.Err())}, false
@@ -816,16 +923,30 @@ func (e *Engine) compute(ctx context.Context, t task) (*outcome, bool) {
 
 // execute runs the task's backend and packages the result envelope.
 func (e *Engine) execute(ctx context.Context, t task) *outcome {
-	res, err := e.compile(ctx, t.backend, t.target, t.circ, t.opts)
+	// The compile span wraps the backend run; the pipeline runner sees it via
+	// ctx and attaches one "pass:<name>" child per pass.
+	cspan := obs.SpanFromContext(ctx).StartChild("compile")
+	cctx := ctx
+	if cspan != nil {
+		cspan.SetAttr("backend", backendLabel(t))
+		cctx = obs.ContextWithSpan(ctx, cspan)
+	}
+	res, err := e.compile(cctx, t.backend, t.target, t.circ, t.opts)
+	cspan.End()
 	if err != nil {
 		return &outcome{err: err}
 	}
 	e.recordPasses(res.Metrics.Passes)
 	// Noisy-shot requests replay the compiled program through the
 	// trajectory engine on the same worker; the estimate is deterministic
-	// per (options, seed), so the outcome stays cacheable.
+	// per (options, seed), so the outcome stays cacheable. The trajectory
+	// engine hangs its witness-replay and chunk spans off the job root in
+	// ctx, as siblings of the compile span.
 	if err := compiler.AttachNoise(ctx, t.target, res, t.opts); err != nil {
 		return &outcome{err: err}
+	}
+	if t.opts.NoisyShots > 0 {
+		e.tel.shots.Add(float64(t.opts.NoisyShots))
 	}
 	env := report.NewEnvelope(t.hash, res.Metrics)
 	env.Backend = res.Backend
@@ -852,6 +973,10 @@ func (e *Engine) recordPasses(passes []metrics.PassTiming) {
 		e.passSeconds[p.Name] += p.Seconds
 	}
 	e.passMu.Unlock()
+	for _, p := range passes {
+		e.tel.passSeconds.With(p.Name).Add(p.Seconds)
+		e.tel.passLatency.With(p.Name).Observe(p.Seconds)
+	}
 }
 
 // finish moves a job to its terminal state and wakes waiters. It is
@@ -878,9 +1003,38 @@ func (e *Engine) finish(j *job, out *outcome, cached bool) {
 	j.out = out
 	j.cached = cached
 	j.finishedAt = time.Now()
+	state := j.state
+	elapsed := j.finishedAt.Sub(j.submitted)
 	j.mu.Unlock()
 	j.cancel() // release the context resources
 	close(j.done)
+
+	// Close out the trace and publish the observability record: outcome
+	// counter, latency histogram (successes only — cancellations would skew
+	// the percentiles the autoscaler feeds on), trace ring, log line.
+	outcomeLabel := outcomeDone
+	switch state {
+	case StateFailed:
+		outcomeLabel = outcomeFailed
+	case StateCancelled:
+		outcomeLabel = outcomeCancelled
+	}
+	backend := backendLabel(j.task)
+	j.trace.Root.SetAttr("state", string(state))
+	j.trace.Root.SetAttr("cached", strconv.FormatBool(cached))
+	j.trace.Root.End()
+	e.tel.traces.Add(j.trace)
+	e.tel.requests.With(backend, j.task.class, outcomeLabel).Inc()
+	if state == StateDone {
+		e.tel.latency.With(backend, j.task.class).Observe(elapsed.Seconds())
+	}
+	if out.err != nil {
+		e.logJob(j, "job finished", "state", state, "seconds", elapsed.Seconds(),
+			"cached", cached, "error", out.err.Error())
+	} else {
+		e.logJob(j, "job finished", "state", state, "seconds", elapsed.Seconds(),
+			"cached", cached)
+	}
 
 	e.mu.Lock()
 	e.finished = append(e.finished, j.id)
@@ -898,6 +1052,7 @@ func (e *Engine) snapshot(j *job) *Job {
 	v := &Job{
 		ID:          j.id,
 		State:       j.state,
+		TraceID:     j.trace.ID,
 		Benchmark:   j.task.label,
 		CircuitHash: j.task.hash,
 		Cached:      j.cached,
@@ -914,7 +1069,18 @@ func (e *Engine) snapshot(j *job) *Job {
 		if j.out.err != nil {
 			v.Error = j.out.err.Error()
 		} else {
-			v.Result = json.RawMessage(j.out.json)
+			// Splice this job's trace into the (trace-free, byte-identical)
+			// cached envelope, once per job; a splice failure falls back to
+			// the raw cached bytes rather than failing the response.
+			if j.tracedJSON == nil {
+				j.tracedJSON = j.out.json
+				if j.finalized {
+					if spliced, err := report.WithTrace(j.out.json, j.trace.ID, j.trace.Root.Snapshot()); err == nil {
+						j.tracedJSON = spliced
+					}
+				}
+			}
+			v.Result = json.RawMessage(j.tracedJSON)
 		}
 	}
 	return v

@@ -15,7 +15,20 @@ import (
 	"atomique/internal/core"
 	"atomique/internal/hardware"
 	"atomique/internal/metrics"
+	"atomique/internal/report"
 )
+
+// stripTrace removes the request-scoped trace fields from result bytes:
+// cache-identity assertions compare the content-addressed payload, which by
+// design excludes the per-job traceId/trace splice.
+func stripTrace(t *testing.T, raw json.RawMessage) []byte {
+	t.Helper()
+	out, err := report.WithTrace([]byte(raw), "", nil)
+	if err != nil {
+		t.Fatalf("strip trace: %v", err)
+	}
+	return out
+}
 
 // waitState polls until the job reaches a state in want or the deadline hits.
 func waitState(t *testing.T, e *Engine, id string, want ...State) *Job {
@@ -126,14 +139,14 @@ func TestResolveErrors(t *testing.T) {
 		{"bad qasm", Request{QASM: "OPENQASM 2.0;\nqreg q[2];\nfrobnicate q[0];"}},
 	}
 	for _, tc := range cases {
-		_, err := e.Submit(tc.req)
+		_, err := e.Submit(context.Background(), tc.req)
 		var re *RequestError
 		if !errors.As(err, &re) {
 			t.Errorf("%s: err = %v, want *RequestError", tc.name, err)
 		}
 	}
 	// Parse errors carry the source line.
-	_, err := e.Submit(Request{QASM: "OPENQASM 2.0;\nqreg q[2];\nfrobnicate q[0];"})
+	_, err := e.Submit(context.Background(), Request{QASM: "OPENQASM 2.0;\nqreg q[2];\nfrobnicate q[0];"})
 	var re *RequestError
 	if !errors.As(err, &re) || re.Line != 3 {
 		t.Fatalf("qasm error = %#v, want line 3", err)
@@ -168,7 +181,7 @@ func TestConcurrentIdenticalRequests(t *testing.T) {
 		if results[i].State != StateDone {
 			t.Fatalf("request %d: state %s (%s)", i, results[i].State, results[i].Error)
 		}
-		if !bytes.Equal(results[i].Result, results[0].Result) {
+		if !bytes.Equal(stripTrace(t, results[i].Result), stripTrace(t, results[0].Result)) {
 			t.Fatalf("request %d: result bytes differ from request 0", i)
 		}
 	}
@@ -191,7 +204,7 @@ func TestConcurrentIdenticalRequests(t *testing.T) {
 	if !again.Cached {
 		t.Error("repeat request not marked cached")
 	}
-	if !bytes.Equal(again.Result, results[0].Result) {
+	if !bytes.Equal(stripTrace(t, again.Result), stripTrace(t, results[0].Result)) {
 		t.Error("repeat request result bytes differ")
 	}
 	// A different seed is a different key.
@@ -341,16 +354,16 @@ func TestQueueBackpressure(t *testing.T) {
 	defer e.Close()
 
 	// First job occupies the single worker.
-	if _, err := e.Submit(Request{Benchmark: "H2-4", Seed: 1}); err != nil {
+	if _, err := e.Submit(context.Background(), Request{Benchmark: "H2-4", Seed: 1}); err != nil {
 		t.Fatal(err)
 	}
 	<-backend.started
 	// Second job fills the queue.
-	if _, err := e.Submit(Request{Benchmark: "H2-4", Seed: 2}); err != nil {
+	if _, err := e.Submit(context.Background(), Request{Benchmark: "H2-4", Seed: 2}); err != nil {
 		t.Fatal(err)
 	}
 	// Third submission must be rejected.
-	if _, err := e.Submit(Request{Benchmark: "H2-4", Seed: 3}); !errors.Is(err, ErrQueueFull) {
+	if _, err := e.Submit(context.Background(), Request{Benchmark: "H2-4", Seed: 3}); !errors.Is(err, ErrQueueFull) {
 		t.Fatalf("err = %v, want ErrQueueFull", err)
 	}
 	if st := e.Stats(); st.Rejected != 1 {
@@ -364,12 +377,12 @@ func TestJobCancellation(t *testing.T) {
 	e := newEngine(Config{Workers: 1, QueueSize: 4}, backend.compile)
 	defer e.Close()
 
-	running, err := e.Submit(Request{Benchmark: "H2-4", Seed: 1})
+	running, err := e.Submit(context.Background(), Request{Benchmark: "H2-4", Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	<-backend.started
-	queued, err := e.Submit(Request{Benchmark: "H2-4", Seed: 2})
+	queued, err := e.Submit(context.Background(), Request{Benchmark: "H2-4", Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,127 @@
+package service
+
+import (
+	"log/slog"
+	"time"
+
+	"atomique/internal/obs"
+)
+
+// Request classes: compile jobs and noisy-simulate jobs have wildly
+// different cost profiles, so every latency metric is keyed by class — the
+// split the ROADMAP's saturation-aware autoscaler needs to model them
+// separately.
+const (
+	ClassCompile  = "compile"
+	ClassSimulate = "simulate"
+)
+
+// Job outcome labels for the request counter.
+const (
+	outcomeDone      = "done"
+	outcomeFailed    = "failed"
+	outcomeCancelled = "cancelled"
+	outcomeRejected  = "rejected"
+)
+
+// Cache event labels: a miss owns the compilation, a hit returns a finished
+// entry, and a coalesce joined an identical in-flight computation (counted in
+// addition to the hit it eventually observes).
+const (
+	cacheHit      = "hit"
+	cacheMiss     = "miss"
+	cacheCoalesce = "coalesce"
+)
+
+// telemetry is the engine's observability bundle: the metrics registry
+// behind GET /metrics, the trace ring buffer behind GET /v1/traces, and the
+// structured logger every job lifecycle event writes to (correlated by trace
+// ID). One instance per engine — metrics are per-engine, not process-global,
+// so tests and in-process engines never interfere.
+type telemetry struct {
+	registry *obs.Registry
+	traces   *obs.TraceStore
+	log      *slog.Logger
+
+	// requests counts finished jobs by backend x class x outcome
+	// (done/failed/cancelled/rejected).
+	requests *obs.CounterVec
+	// latency is end-to-end job time (submit -> finish) for successful jobs,
+	// by backend x class — the histogram the autoscaler scrapes percentiles
+	// from.
+	latency *obs.HistogramVec
+	// queueWait is time from submission to a worker picking the job up.
+	queueWait *obs.Histogram
+	// cacheEvents counts hit/miss/coalesce on the result cache.
+	cacheEvents *obs.CounterVec
+	// passSeconds accumulates per-pass compile seconds (the /v1/stats
+	// PassSeconds map, as a scrapeable counter); passLatency is the same
+	// signal as a histogram for per-pass percentiles.
+	passSeconds *obs.CounterVec
+	passLatency *obs.HistogramVec
+	// shots counts trajectory shots executed (throughput via rate()).
+	shots *obs.Counter
+}
+
+// newTelemetry builds the registry and registers every engine metric,
+// including the gauge closures that read live engine state at scrape time.
+func newTelemetry(e *Engine, logger *slog.Logger, traceBuffer int) *telemetry {
+	if logger == nil {
+		logger = obs.DiscardLogger()
+	}
+	r := obs.NewRegistry()
+	t := &telemetry{
+		registry: r,
+		traces:   obs.NewTraceStore(traceBuffer),
+		log:      logger,
+		requests: r.CounterVec("atomique_requests_total",
+			"Finished compile-service jobs by backend, request class, and outcome.",
+			"backend", "class", "outcome"),
+		latency: r.HistogramVec("atomique_request_duration_seconds",
+			"End-to-end job latency (submit to finish) for successful jobs.",
+			nil, "backend", "class"),
+		queueWait: r.Histogram("atomique_queue_wait_seconds",
+			"Time jobs spent queued before a worker picked them up.", nil),
+		cacheEvents: r.CounterVec("atomique_cache_events_total",
+			"Result-cache events: hit, miss, or coalesce (joined an in-flight compile).",
+			"event"),
+		passSeconds: r.CounterVec("atomique_pass_seconds_total",
+			"Cumulative wall seconds per compile-pipeline pass across executed compilations.",
+			"pass"),
+		passLatency: r.HistogramVec("atomique_pass_duration_seconds",
+			"Per-execution wall time of each compile-pipeline pass.",
+			nil, "pass"),
+		shots: r.Counter("atomique_trajectory_shots_total",
+			"Monte-Carlo trajectory shots executed by noisy-simulate jobs."),
+	}
+	r.GaugeFunc("atomique_queue_depth",
+		"Jobs waiting in the bounded queue.",
+		func() float64 { return float64(len(e.queue)) })
+	r.GaugeFunc("atomique_queue_capacity",
+		"Capacity of the bounded job queue.",
+		func() float64 { return float64(e.cfg.QueueSize) })
+	r.GaugeFunc("atomique_workers",
+		"Size of the worker pool.",
+		func() float64 { return float64(e.cfg.Workers) })
+	r.GaugeFunc("atomique_workers_busy",
+		"Workers currently executing a job.",
+		func() float64 { return float64(e.busy.Load()) })
+	r.GaugeFunc("atomique_cache_entries",
+		"Entries in the content-addressed result cache (including in-flight).",
+		func() float64 { return float64(e.cache.len()) })
+	r.GaugeFunc("atomique_traces_stored",
+		"Finished traces held in the /v1/traces ring buffer.",
+		func() float64 { return float64(t.traces.Len()) })
+	r.GaugeFunc("atomique_uptime_seconds",
+		"Seconds since the engine started.",
+		func() float64 { return time.Since(e.start).Seconds() })
+	return t
+}
+
+// classOf maps compile options to the request class.
+func classOf(noisyShots int) string {
+	if noisyShots > 0 {
+		return ClassSimulate
+	}
+	return ClassCompile
+}
