@@ -5,9 +5,15 @@
 // Usage:
 //
 //	atomiqued [-addr :8791] [-workers 8] [-queue 64] [-cache 256]
-//	          [-slm 10] [-aods 2] [-aodsize 10]
+//	          [-workers-min 1] [-workers-max 16] [-admission]
+//	          [-admission-slo 250ms] [-slm 10] [-aods 2] [-aodsize 10]
 //	          [-ops-addr :8792] [-log-level info] [-trace-buffer 256]
 //	          [-smoke]
+//
+// -admission enables the saturation-aware admission controller: the worker
+// pool autoscales within [-workers-min, -workers-max] and submissions are
+// shed with 429 + Retry-After before the queue saturates (batch-class first;
+// interactive requests keep their -admission-slo queue-wait objective).
 //
 // Endpoints: POST /v1/compile, POST /v1/simulate, POST /v1/compile/batch,
 // GET /v1/jobs/{id}, DELETE /v1/jobs/{id}, GET /v1/backends,
@@ -37,6 +43,7 @@ import (
 	"syscall"
 	"time"
 
+	"atomique/internal/admission"
 	"atomique/internal/compiler"
 	"atomique/internal/core"
 	"atomique/internal/hardware"
@@ -75,7 +82,11 @@ func opsHandler(engine *service.Engine) http.Handler {
 func main() {
 	var (
 		addr        = flag.String("addr", ":8791", "listen address")
-		workers     = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		workers     = flag.Int("workers", 0, "initial worker pool size (0 = GOMAXPROCS)")
+		workersMin  = flag.Int("workers-min", 0, "worker pool floor for the admission controller (0 = fixed pool at -workers)")
+		workersMax  = flag.Int("workers-max", 0, "worker pool ceiling for the admission controller (0 = fixed pool at -workers)")
+		admit       = flag.Bool("admission", false, "enable saturation-aware admission control + pool autoscaling")
+		admitSLO    = flag.Duration("admission-slo", 250*time.Millisecond, "interactive queue-wait objective for admission control")
 		queue       = flag.Int("queue", 64, "job queue capacity")
 		cache       = flag.Int("cache", 256, "result cache entries")
 		slm         = flag.Int("slm", 10, "default SLM array side length")
@@ -103,11 +114,17 @@ func main() {
 
 	engine := service.New(service.Config{
 		Workers:     *workers,
+		WorkersMin:  *workersMin,
+		WorkersMax:  *workersMax,
 		QueueSize:   *queue,
 		CacheSize:   *cache,
 		Hardware:    hw,
 		TraceBuffer: *traceBuffer,
 		Logger:      logger,
+		Admission: admission.Config{
+			Enabled:         *admit,
+			TargetQueueWait: *admitSLO,
+		},
 	})
 	defer engine.Close()
 
@@ -148,7 +165,8 @@ func main() {
 	fmt.Printf("atomiqued: backends: %s (select via the request backend field)\n",
 		strings.Join(compiler.Names(), ", "))
 	logger.Info("serving", "addr", *addr, "workers", *workers, "queue", *queue,
-		"cache", *cache, "traceBuffer", *traceBuffer)
+		"cache", *cache, "traceBuffer", *traceBuffer,
+		"admission", *admit, "workersMin", *workersMin, "workersMax", *workersMax)
 
 	select {
 	case <-ctx.Done():

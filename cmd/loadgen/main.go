@@ -1,0 +1,217 @@
+// Command loadgen drives an atomiqued instance with open-loop interactive
+// and batch traffic, with an optional mid-run burst window that multiplies
+// both arrival rates. It is the admission-control workout: run atomiqued
+// with -admission and watch atomique_workers_target track the burst while
+// shed requests come back as 429 + Retry-After instead of queueing.
+//
+// Usage:
+//
+//	loadgen -addr http://127.0.0.1:8791 [-duration 30s] [-rps 20]
+//	        [-batch-rps 5] [-burst 10] [-burst-start 10s] [-burst-len 10s]
+//	        [-benchmark H2-4] [-timeout 30s]
+//
+// Every request carries a unique seed so the content-addressed result cache
+// never absorbs the load. Per-class p50/p90/p99 latency, shed counts, and
+// the observed worker-target trajectory are printed at the end. The exit
+// code is 1 if any request drew a 5xx, a transport error, or a 429 without
+// Retry-After — 429s themselves are expected output under overload, not
+// failures.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+type result struct {
+	class      string
+	status     int // 0 = transport error
+	latency    time.Duration
+	retryAfter bool
+}
+
+type classSummary struct {
+	sent, ok, shed, failed, transport int
+	missingRetryAfter                 int
+	latencies                         []time.Duration
+}
+
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return sorted[idx]
+}
+
+func main() {
+	var (
+		addr       = flag.String("addr", "http://127.0.0.1:8791", "atomiqued base URL")
+		duration   = flag.Duration("duration", 30*time.Second, "total run length")
+		rps        = flag.Float64("rps", 20, "baseline interactive arrivals per second")
+		batchRPS   = flag.Float64("batch-rps", 5, "baseline batch arrivals per second")
+		burst      = flag.Float64("burst", 10, "rate multiplier during the burst window (1 = no burst)")
+		burstStart = flag.Duration("burst-start", 10*time.Second, "burst window start offset")
+		burstLen   = flag.Duration("burst-len", 10*time.Second, "burst window length")
+		benchmark  = flag.String("benchmark", "H2-4", "benchmark circuit to compile")
+		timeout    = flag.Duration("timeout", 30*time.Second, "per-request timeout")
+	)
+	flag.Parse()
+
+	client := &http.Client{Timeout: *timeout}
+	results := make(chan result, 4096)
+	var inflight sync.WaitGroup
+	var seed atomic.Int64
+	start := time.Now()
+	stop := time.After(*duration)
+
+	fire := func(class string) {
+		defer inflight.Done()
+		body, _ := json.Marshal(map[string]any{
+			"benchmark": *benchmark,
+			"seed":      seed.Add(1),
+			"priority":  class,
+		})
+		t0 := time.Now()
+		resp, err := client.Post(*addr+"/v1/compile", "application/json", bytes.NewReader(body))
+		if err != nil {
+			results <- result{class: class}
+			return
+		}
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck // drained for keep-alive reuse
+		resp.Body.Close()
+		results <- result{
+			class:      class,
+			status:     resp.StatusCode,
+			latency:    time.Since(t0),
+			retryAfter: resp.Header.Get("Retry-After") != "",
+		}
+	}
+
+	// Open-loop generator: arrivals keep coming at the scheduled rate whether
+	// or not earlier requests finished, so a saturated server sees real queue
+	// pressure instead of the closed-loop self-throttling artifact.
+	generate := func(class string, baseRPS float64, done <-chan struct{}) {
+		defer inflight.Done()
+		if baseRPS <= 0 {
+			return
+		}
+		for {
+			elapsed := time.Since(start)
+			rate := baseRPS
+			if *burst > 1 && elapsed >= *burstStart && elapsed < *burstStart+*burstLen {
+				rate = baseRPS * *burst
+			}
+			select {
+			case <-done:
+				return
+			case <-time.After(time.Duration(float64(time.Second) / rate)):
+				inflight.Add(1)
+				go fire(class)
+			}
+		}
+	}
+
+	// Sample the worker target so the report shows the pool tracking load.
+	targets := make(chan string, 1)
+	sampleDone := make(chan struct{})
+	go func() {
+		type stats struct {
+			WorkersTarget int `json:"workersTarget"`
+		}
+		var trajectory []int
+		tick := time.NewTicker(500 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-sampleDone:
+				targets <- fmt.Sprint(trajectory)
+				return
+			case <-tick.C:
+				resp, err := client.Get(*addr + "/v1/stats")
+				if err != nil {
+					continue
+				}
+				var st stats
+				json.NewDecoder(resp.Body).Decode(&st) //nolint:errcheck // best-effort sample
+				resp.Body.Close()
+				if n := len(trajectory); n == 0 || trajectory[n-1] != st.WorkersTarget {
+					trajectory = append(trajectory, st.WorkersTarget)
+				}
+			}
+		}
+	}()
+
+	genDone := make(chan struct{})
+	inflight.Add(2)
+	go generate("interactive", *rps, genDone)
+	go generate("batch", *batchRPS, genDone)
+
+	collected := make(map[string]*classSummary)
+	for _, c := range []string{"interactive", "batch"} {
+		collected[c] = &classSummary{}
+	}
+	collectorDone := make(chan struct{})
+	go func() {
+		defer close(collectorDone)
+		for r := range results {
+			s := collected[r.class]
+			s.sent++
+			switch {
+			case r.status == 0:
+				s.transport++
+			case r.status < 300:
+				s.ok++
+				s.latencies = append(s.latencies, r.latency)
+			case r.status == http.StatusTooManyRequests:
+				s.shed++
+				if !r.retryAfter {
+					s.missingRetryAfter++
+				}
+			default:
+				s.failed++
+			}
+		}
+	}()
+
+	<-stop
+	close(genDone)
+	inflight.Wait()
+	close(results)
+	<-collectorDone
+	close(sampleDone)
+
+	exit := 0
+	for _, class := range []string{"interactive", "batch"} {
+		s := collected[class]
+		sort.Slice(s.latencies, func(i, j int) bool { return s.latencies[i] < s.latencies[j] })
+		fmt.Printf("%-12s sent=%d ok=%d shed=%d failed=%d transport=%d p50=%s p90=%s p99=%s\n",
+			class, s.sent, s.ok, s.shed, s.failed, s.transport,
+			percentile(s.latencies, 50).Round(time.Millisecond),
+			percentile(s.latencies, 90).Round(time.Millisecond),
+			percentile(s.latencies, 99).Round(time.Millisecond))
+		if s.failed > 0 || s.transport > 0 {
+			fmt.Fprintf(os.Stderr, "loadgen: %s: %d failed, %d transport errors\n", class, s.failed, s.transport)
+			exit = 1
+		}
+		if s.missingRetryAfter > 0 {
+			fmt.Fprintf(os.Stderr, "loadgen: %s: %d shed responses lacked Retry-After\n", class, s.missingRetryAfter)
+			exit = 1
+		}
+	}
+	fmt.Printf("workersTarget trajectory: %s\n", <-targets)
+	os.Exit(exit)
+}

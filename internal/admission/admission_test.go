@@ -1,0 +1,182 @@
+package admission
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// feed drives the controller's step directly with a sequence of synthetic
+// snapshots spaced interval apart, returning the last tick.
+func feed(c *Controller, base time.Time, snaps []Snapshot) Tick {
+	var last Tick
+	for i := range snaps {
+		snaps[i].Time = base.Add(time.Duration(i) * c.cfg.Interval)
+		last = c.step(snaps[i])
+		c.gate.Store(&last)
+	}
+	return last
+}
+
+// TestOptimizerScalesWithLoad: a sustained arrival rate that needs several
+// workers must raise the target; an idle tail must bring it back down after
+// the scale-down damping.
+func TestOptimizerScalesWithLoad(t *testing.T) {
+	cfg := Config{Enabled: true, Interval: 100 * time.Millisecond,
+		MinWorkers: 1, MaxWorkers: 8, TargetQueueWait: 100 * time.Millisecond,
+		ScaleDownTicks: 2, EWMAAlpha: 1} // alpha 1: no smoothing, deterministic
+	c := New(cfg, nil, nil, nil)
+	base := time.Unix(0, 0)
+
+	// 40 jobs per 100ms tick at 10ms each: λ·s = 400/s · 0.01s = 4 workers
+	// before headroom.
+	snaps := []Snapshot{{Live: 1, Target: 1}}
+	admitted, executed, busySec := uint64(0), uint64(0), 0.0
+	for i := 0; i < 6; i++ {
+		admitted += 40
+		executed += 40
+		busySec += 0.4
+		snaps = append(snaps, Snapshot{Live: 1, Busy: 1, Target: 1,
+			Admitted: admitted, Executed: executed, BusySeconds: busySec})
+	}
+	tick := feed(c, base, snaps)
+	if tick.Target < 4 || tick.Target > 8 {
+		t.Fatalf("target under load = %d, want in [4,8] (tick %+v)", tick.Target, tick)
+	}
+	high := tick.Target
+
+	// Idle ticks: target must shrink to MinWorkers, but only after
+	// ScaleDownTicks consecutive low periods.
+	idle := []Snapshot{}
+	for i := 0; i < 1+cfg.ScaleDownTicks; i++ {
+		idle = append(idle, Snapshot{Live: high, Target: high,
+			Admitted: admitted, Executed: executed, BusySeconds: busySec})
+	}
+	first := feed(c, base.Add(time.Hour), idle[:1])
+	if first.Target != high {
+		t.Fatalf("target dropped immediately to %d; scale-down must be damped", first.Target)
+	}
+	last := feed(c, base.Add(2*time.Hour), idle[1:])
+	if last.Target != cfg.MinWorkers {
+		t.Fatalf("target after idle = %d, want %d", last.Target, cfg.MinWorkers)
+	}
+}
+
+// TestShedThresholds: batch sheds when the total backlog's predicted wait
+// passes the objective while interactive (which overtakes batch) still
+// admits; interactive sheds only past its slack multiple.
+func TestShedThresholds(t *testing.T) {
+	cfg := Config{Enabled: true, Interval: 100 * time.Millisecond,
+		MinWorkers: 1, MaxWorkers: 4, TargetQueueWait: 100 * time.Millisecond,
+		InteractiveSlack: 4, EWMAAlpha: 1, DefaultServiceSeconds: 0.01}
+	c := New(cfg, nil, nil, nil)
+	base := time.Unix(0, 0)
+
+	// Batch backlog of 20 jobs at 10ms on one worker: batch wait 200ms > 100ms
+	// objective, interactive wait 0.
+	tick := feed(c, base, []Snapshot{
+		{Live: 1, Target: 1},
+		{Live: 1, Busy: 1, Target: 1, BatchDepth: 20, QueueCapacity: 64},
+	})
+	if !tick.ShedBatch || tick.ShedInteractive {
+		t.Fatalf("shed = batch:%v interactive:%v, want batch only (tick %+v)",
+			tick.ShedBatch, tick.ShedInteractive, tick)
+	}
+	if d := c.Admit(Batch); d.Admit || d.RetryAfter <= 0 || d.Reason == "" {
+		t.Fatalf("batch decision = %+v, want shed with positive RetryAfter and reason", d)
+	}
+	if d := c.Admit(Interactive); !d.Admit {
+		t.Fatalf("interactive decision = %+v, want admit", d)
+	}
+	if tick.Saturation <= 1 {
+		t.Errorf("saturation = %v, want > 1 while shedding", tick.Saturation)
+	}
+
+	// Interactive backlog past the slack multiple (4×100ms): 60 jobs at
+	// 10ms on one worker = 600ms predicted wait.
+	tick = feed(c, base.Add(time.Hour), []Snapshot{
+		{Live: 1, Busy: 1, Target: 1, InteractiveDepth: 60, QueueCapacity: 64},
+	})
+	if !tick.ShedInteractive {
+		t.Fatalf("interactive not shedding at 600ms predicted wait: %+v", tick)
+	}
+	if d := c.Admit(Interactive); d.Admit || d.RetryAfter < cfg.Interval {
+		t.Fatalf("interactive decision = %+v, want shed with RetryAfter >= interval", d)
+	}
+}
+
+// TestAdmitBeforeFirstTick: a controller that has not ticked admits all.
+func TestAdmitBeforeFirstTick(t *testing.T) {
+	c := New(Config{Enabled: true}, nil, nil, nil)
+	for _, p := range []Priority{Interactive, Batch} {
+		if d := c.Admit(p); !d.Admit {
+			t.Errorf("Admit(%v) before first tick = %+v, want admit", p, d)
+		}
+	}
+}
+
+// fakeEngine is a Sampler+Actuator for loop-level tests.
+type fakeEngine struct {
+	mu     sync.Mutex
+	snap   Snapshot
+	target int
+}
+
+func (f *fakeEngine) AdmissionSample() Snapshot {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s := f.snap
+	s.Time = time.Now()
+	return s
+}
+
+func (f *fakeEngine) SetWorkerTarget(n int) {
+	f.mu.Lock()
+	f.target = n
+	f.mu.Unlock()
+}
+
+// TestControllerLoop runs the real goroutine loop against a fake engine:
+// ticks arrive, the actuator is called, and Stop terminates cleanly.
+func TestControllerLoop(t *testing.T) {
+	fe := &fakeEngine{snap: Snapshot{Live: 1, Target: 1}}
+	var ticks sync.WaitGroup
+	ticks.Add(3)
+	seen := 0
+	c := New(Config{Enabled: true, Interval: 5 * time.Millisecond,
+		MinWorkers: 1, MaxWorkers: 4}, fe, fe, func(Tick) {
+		if seen < 3 {
+			seen++
+			ticks.Done()
+		}
+	})
+	c.Start()
+	done := make(chan struct{})
+	go func() { ticks.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("controller never ticked")
+	}
+	c.Stop()
+	fe.mu.Lock()
+	target := fe.target
+	fe.mu.Unlock()
+	if target < 1 || target > 4 {
+		t.Errorf("actuated target = %d outside [1,4]", target)
+	}
+	if last := c.Last(); last.At.IsZero() {
+		t.Error("Last() empty after ticks")
+	}
+}
+
+// TestDisabledController: Start is a no-op, Stop returns immediately, Admit
+// admits.
+func TestDisabledController(t *testing.T) {
+	c := New(Config{}, nil, nil, nil)
+	c.Start()
+	c.Stop()
+	if d := c.Admit(Batch); !d.Admit {
+		t.Errorf("disabled controller shed: %+v", d)
+	}
+}

@@ -1,0 +1,72 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+
+	"atomique/internal/circuit"
+)
+
+// fpMemoLimit bounds the fingerprint memo. Each entry is a pointer and a
+// 64-hex string; the limit exists because long-running in-process callers
+// submitting a stream of fresh circuits would otherwise grow the memo (and
+// pin the circuits themselves) without bound.
+const fpMemoLimit = 512
+
+// fpMemo is a bounded LRU of circuit fingerprints keyed by circuit pointer.
+// Circuits must be treated as immutable once submitted (same contract the
+// old unbounded memo relied on).
+type fpMemo struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used; values are *fpEntry
+	items map[*circuit.Circuit]*list.Element
+}
+
+type fpEntry struct {
+	circ *circuit.Circuit
+	fp   string
+}
+
+func (m *fpMemo) init(capacity int) {
+	if capacity < 1 {
+		capacity = 1
+	}
+	m.cap = capacity
+	m.ll = list.New()
+	m.items = make(map[*circuit.Circuit]*list.Element)
+}
+
+// fingerprint returns the memoised fingerprint for circ, computing and
+// inserting it (evicting the least recently used entry when full) on a miss.
+// The hash itself is computed outside the lock; a racing duplicate compute
+// is harmless (fingerprints are deterministic).
+func (m *fpMemo) fingerprint(circ *circuit.Circuit) string {
+	m.mu.Lock()
+	if el, ok := m.items[circ]; ok {
+		m.ll.MoveToFront(el)
+		fp := el.Value.(*fpEntry).fp
+		m.mu.Unlock()
+		return fp
+	}
+	m.mu.Unlock()
+	fp := circ.Fingerprint()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.items[circ]; !ok {
+		m.items[circ] = m.ll.PushFront(&fpEntry{circ: circ, fp: fp})
+		for m.ll.Len() > m.cap {
+			back := m.ll.Back()
+			m.ll.Remove(back)
+			delete(m.items, back.Value.(*fpEntry).circ)
+		}
+	}
+	return fp
+}
+
+// len reports the entry count (tests assert the bound holds).
+func (m *fpMemo) len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ll.Len()
+}

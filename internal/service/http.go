@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"strconv"
 	"time"
@@ -26,6 +27,9 @@ type errorBody struct {
 	Error string `json:"error"`
 	// Line is the QASM source line for parse errors, omitted otherwise.
 	Line int `json:"line,omitempty"`
+	// RetryAfterSeconds mirrors the Retry-After header on 429/503 responses,
+	// so JSON-only clients get the backoff advice too.
+	RetryAfterSeconds int `json:"retryAfterSeconds,omitempty"`
 }
 
 // batchRequest is the POST /v1/compile/batch body.
@@ -132,17 +136,37 @@ func writeJSON(w http.ResponseWriter, status int, v interface{}) {
 }
 
 // writeError maps service errors to HTTP statuses: RequestError -> 400,
-// ErrQueueFull -> 429, everything else -> 500.
+// overload (admission shed or queue full) -> 429 with Retry-After, engine
+// shutdown -> 503 with Retry-After, everything else -> 500. Shutdown is 503
+// rather than 500 because it is the load balancer's cue to route elsewhere,
+// not a server bug.
 func writeError(w http.ResponseWriter, err error) {
 	var re *RequestError
+	var oe *OverloadedError
 	switch {
 	case errors.As(err, &re):
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: re.Msg, Line: re.Line})
+	case errors.As(err, &oe):
+		writeRetryable(w, http.StatusTooManyRequests, err.Error(), oe.RetryAfter)
 	case errors.Is(err, ErrQueueFull):
-		writeJSON(w, http.StatusTooManyRequests, errorBody{Error: err.Error()})
+		writeRetryable(w, http.StatusTooManyRequests, err.Error(), time.Second)
+	case errors.Is(err, ErrClosed):
+		writeRetryable(w, http.StatusServiceUnavailable, err.Error(), time.Second)
 	default:
 		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
 	}
+}
+
+// writeRetryable writes a 429/503 with a Retry-After header (whole seconds,
+// ceiling, at least 1 — the header's granularity) and the same advice in the
+// body.
+func writeRetryable(w http.ResponseWriter, status int, msg string, after time.Duration) {
+	secs := int(math.Ceil(after.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	writeJSON(w, status, errorBody{Error: msg, RetryAfterSeconds: secs})
 }
 
 // jobStatus picks the response code for a finished job: failed compilations
@@ -233,9 +257,14 @@ func (e *Engine) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// Resolve everything first so a malformed item fails the batch before
-	// any work is enqueued.
+	// any work is enqueued. Batch items default to the batch priority class:
+	// they flow-control rather than fail fast, so they should queue behind
+	// interactive compiles, not ahead of them.
 	tasks := make([]task, len(breq.Requests))
 	for i, req := range breq.Requests {
+		if req.Priority == "" {
+			req.Priority = PriorityBatch
+		}
 		t, err := e.resolve(req)
 		if err != nil {
 			var re *RequestError

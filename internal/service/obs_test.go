@@ -133,7 +133,10 @@ func TestMetricsEndpoint(t *testing.T) {
 		`atomique_pass_seconds_total{pass="route"}`,
 		`atomique_trajectory_shots_total 128`,
 		"atomique_queue_depth", "atomique_queue_capacity",
+		"atomique_queue_depth_interactive", "atomique_queue_depth_batch",
 		"atomique_workers ", "atomique_workers_busy",
+		"atomique_workers_target", "atomique_busy_seconds",
+		"atomique_panics_total 0",
 		"atomique_cache_entries", "atomique_uptime_seconds",
 	} {
 		if !strings.Contains(string(body), want) {

@@ -25,6 +25,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"atomique/internal/admission"
 	"atomique/internal/bench"
 	"atomique/internal/circuit"
 	"atomique/internal/compiler"
@@ -45,8 +46,36 @@ const DefaultBackend = "atomique"
 // queue has no free slot; the HTTP layer maps it to 429 Too Many Requests.
 var ErrQueueFull = errors.New("service: job queue full")
 
-// ErrClosed is returned for submissions after Close.
+// ErrOverloaded marks any load-shedding rejection (queue full or admission
+// control); errors.Is(err, ErrOverloaded) matches both.
+var ErrOverloaded = errors.New("service: overloaded")
+
+// ErrClosed is returned for submissions after Close; the HTTP layer maps it
+// to 503 Service Unavailable.
 var ErrClosed = errors.New("service: engine closed")
+
+// OverloadedError is the structured load-shed rejection: the HTTP layer
+// renders it as a 429 with a Retry-After header computed from the predicted
+// queue drain time. QueueFull distinguishes a physically full queue (also
+// matched by errors.Is(err, ErrQueueFull)) from a proactive admission shed.
+type OverloadedError struct {
+	// RetryAfter is the advised client backoff.
+	RetryAfter time.Duration
+	// Reason explains the shed (queue full, predicted wait over objective).
+	Reason string
+	// QueueFull marks a full-queue rejection rather than an admission shed.
+	QueueFull bool
+}
+
+func (e *OverloadedError) Error() string {
+	return fmt.Sprintf("service: overloaded: %s (retry after %s)", e.Reason, e.RetryAfter.Round(time.Millisecond))
+}
+
+// Is matches ErrOverloaded always and ErrQueueFull for full-queue sheds, so
+// pre-admission callers checking errors.Is(err, ErrQueueFull) keep working.
+func (e *OverloadedError) Is(target error) bool {
+	return target == ErrOverloaded || (e.QueueFull && target == ErrQueueFull)
+}
 
 // RequestError marks a client-side request problem (unknown benchmark,
 // malformed QASM, bad options); the HTTP layer maps it to 400 Bad Request.
@@ -60,8 +89,16 @@ func (e *RequestError) Error() string { return e.Msg }
 
 // Config sizes the engine. The zero value gets sensible defaults.
 type Config struct {
-	// Workers is the worker-pool size (default: GOMAXPROCS).
+	// Workers is the initial worker-pool size (default: GOMAXPROCS).
 	Workers int
+	// WorkersMin and WorkersMax bound the adaptive pool (Resize and the
+	// admission controller's actuator clamp to them). When both are unset
+	// the pool is fixed at Workers, preserving the pre-adaptive behaviour.
+	WorkersMin, WorkersMax int
+	// Admission configures the saturation-aware control loop: worker-pool
+	// autoscaling within [WorkersMin, WorkersMax] plus load shedding with
+	// computed Retry-After. Disabled by default.
+	Admission admission.Config
 	// QueueSize bounds the job queue (default: 64).
 	QueueSize int
 	// CacheSize bounds the result cache entry count (default: 256).
@@ -81,6 +118,25 @@ func (c Config) withDefaults() Config {
 	if c.Workers <= 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
 	}
+	// Unset bounds pin the pool at its initial size; explicit bounds clamp
+	// the initial size into range.
+	if c.WorkersMin <= 0 && c.WorkersMax <= 0 {
+		c.WorkersMin, c.WorkersMax = c.Workers, c.Workers
+	}
+	if c.WorkersMin <= 0 {
+		c.WorkersMin = 1
+	}
+	if c.WorkersMax < c.WorkersMin {
+		c.WorkersMax = c.WorkersMin
+	}
+	if c.Workers < c.WorkersMin {
+		c.Workers = c.WorkersMin
+	}
+	if c.Workers > c.WorkersMax {
+		c.Workers = c.WorkersMax
+	}
+	c.Admission.MinWorkers = c.WorkersMin
+	c.Admission.MaxWorkers = c.WorkersMax
 	if c.QueueSize <= 0 {
 		c.QueueSize = 64
 	}
@@ -110,6 +166,12 @@ type Request struct {
 	QASM      string `json:"qasm,omitempty"`
 
 	Backend string `json:"backend,omitempty"` // registered backend name
+
+	// Priority is the scheduling class: "interactive" (default) or
+	// "batch". Workers strictly prefer interactive jobs, and under load
+	// the admission controller sheds batch traffic first. The batch
+	// endpoint and the in-process experiments path default to "batch".
+	Priority string `json:"priority,omitempty"`
 
 	Seed   int64   `json:"seed,omitempty"`
 	Serial bool    `json:"serial,omitempty"` // ablation: serial router
@@ -178,6 +240,7 @@ type task struct {
 	hash    string // circuit fingerprint
 	key     string // cache key
 	class   string // request class: ClassCompile or ClassSimulate
+	prio    admission.Priority
 	backend compiler.Backend
 	target  compiler.Target
 	circ    *circuit.Circuit
@@ -213,19 +276,31 @@ type job struct {
 // Stats is the /v1/stats payload: queue, worker, cache, and per-pass
 // pipeline counters.
 type Stats struct {
-	Workers       int     `json:"workers"`
-	WorkersBusy   int     `json:"workersBusy"`
-	QueueCapacity int     `json:"queueCapacity"`
-	QueueDepth    int     `json:"queueDepth"`
-	Submitted     uint64  `json:"submitted"`
-	Completed     uint64  `json:"completed"`
-	Failed        uint64  `json:"failed"`
-	Cancelled     uint64  `json:"cancelled"`
-	Rejected      uint64  `json:"rejected"`
+	Workers       int `json:"workers"` // live workers (including draining retirees)
+	WorkersBusy   int `json:"workersBusy"`
+	WorkersTarget int `json:"workersTarget"` // adaptive-pool target
+	WorkersMin    int `json:"workersMin"`
+	WorkersMax    int `json:"workersMax"`
+	QueueCapacity int `json:"queueCapacity"` // per priority class
+	QueueDepth    int `json:"queueDepth"`    // both classes combined
+	// QueueDepthInteractive/Batch split QueueDepth by priority class.
+	QueueDepthInteractive int    `json:"queueDepthInteractive"`
+	QueueDepthBatch       int    `json:"queueDepthBatch"`
+	Submitted             uint64 `json:"submitted"`
+	Completed             uint64 `json:"completed"`
+	Failed                uint64 `json:"failed"`
+	Cancelled             uint64 `json:"cancelled"`
+	Rejected              uint64 `json:"rejected"`
+	// Panics counts backend panics recovered by workers (the jobs failed;
+	// the workers survived).
+	Panics        uint64  `json:"panics"`
 	CacheHits     uint64  `json:"cacheHits"`
 	CacheMisses   uint64  `json:"cacheMisses"`
 	CacheEntries  int     `json:"cacheEntries"`
 	UptimeSeconds float64 `json:"uptimeSeconds"`
+	// Admission reports the control loop's latest model fit and shed state;
+	// nil when admission control is disabled.
+	Admission *AdmissionStats `json:"admission,omitempty"`
 	// PassSeconds is the cumulative wall time each compile-pipeline pass
 	// consumed across every non-cached compilation this engine executed,
 	// keyed by pass name; PassRuns counts those executions. Together they
@@ -236,6 +311,28 @@ type Stats struct {
 	// (e.g. "atomique/compile"): count, sum, and p50/p90/p99 estimated from
 	// the same log-bucketed histograms GET /metrics exposes.
 	Latencies map[string]obs.Quantiles `json:"latencies,omitempty"`
+}
+
+// AdmissionStats is the /v1/stats view of the admission controller: the
+// fitted saturation model and the current gate state.
+type AdmissionStats struct {
+	ArrivalRatePerSecond float64 `json:"arrivalRatePerSecond"`
+	ServiceSecondsPerJob float64 `json:"serviceSecondsPerJob"`
+	Utilization          float64 `json:"utilization"`
+	// PredictedInteractiveWaitSeconds/PredictedBatchWaitSeconds are the
+	// queue waits a new submission of each class would see.
+	PredictedInteractiveWaitSeconds float64 `json:"predictedInteractiveWaitSeconds"`
+	PredictedBatchWaitSeconds       float64 `json:"predictedBatchWaitSeconds"`
+	// Saturation is predicted batch wait over the queue-wait objective
+	// (>1 means batch traffic is shedding).
+	Saturation      float64 `json:"saturation"`
+	ShedInteractive bool    `json:"shedInteractive"`
+	ShedBatch       bool    `json:"shedBatch"`
+	// ShedInteractiveTotal/ShedBatchTotal count admission sheds per class
+	// since engine start (queue-full rejections are counted separately
+	// under "rejected").
+	ShedInteractiveTotal uint64 `json:"shedInteractiveTotal"`
+	ShedBatchTotal       uint64 `json:"shedBatchTotal"`
 }
 
 // compileFunc is the engine's compilation seam; tests substitute it to
@@ -249,10 +346,13 @@ func defaultCompile(ctx context.Context, b compiler.Backend, tgt compiler.Target
 // maxTrackedJobs bounds the finished-job history kept for GET /v1/jobs/{id}.
 const maxTrackedJobs = 4096
 
-// Engine is the compile service: queue, workers, cache, and job registry.
+// Engine is the compile service: priority queues, an adaptive worker pool,
+// cache, job registry, and the admission control loop.
 type Engine struct {
-	cfg     Config
-	queue   chan *job
+	cfg Config
+	// queues are the bounded per-priority job queues, indexed by
+	// admission.Priority; workers drain interactive strictly first.
+	queues  [2]chan *job
 	cache   *lruCache
 	compile compileFunc
 	// tel bundles the engine's observability surface: metrics registry
@@ -260,6 +360,28 @@ type Engine struct {
 	tel *telemetry
 	// busy counts workers currently executing a job (workers_busy gauge).
 	busy atomic.Int64
+	// busySeconds accumulates wall time workers spent running jobs and
+	// executed counts those runs; their ratio is the mean service time the
+	// admission controller's saturation model fits.
+	busySeconds obs.Counter
+	executed    atomic.Uint64
+	// panics counts recovered backend panics (atomique_panics_total).
+	panics atomic.Uint64
+
+	// poolMu guards quits, the adaptive pool's per-worker retirement
+	// channels; closing one retires that worker after its current job.
+	poolMu        sync.Mutex
+	quits         []chan struct{}
+	workersTarget atomic.Int64
+	workersLive   atomic.Int64
+
+	// ctrl is the admission control loop (nil when disabled); admTick
+	// holds its latest tick for gauges and /v1/stats.
+	ctrl    *admission.Controller
+	admTick atomic.Pointer[admission.Tick]
+	// shedByClass counts admission sheds per priority class.
+	shedByClass [2]atomic.Uint64
+
 	// benchInfos is the /v1/benchmarks payload, computed once at engine
 	// construction (the registry is immutable after init).
 	benchInfos []benchmarkInfo
@@ -293,8 +415,10 @@ type Engine struct {
 	// fpMemo caches circuit fingerprints for CompileMetrics, keyed by
 	// circuit pointer: in-process callers (the experiments batch path)
 	// resubmit the same few circuit objects thousands of times, and those
-	// circuits must be treated as immutable once submitted.
-	fpMemo sync.Map
+	// circuits must be treated as immutable once submitted. Bounded (LRU)
+	// so long-running callers streaming fresh circuits cannot grow it
+	// without limit.
+	fpMemo fpMemo
 }
 
 // New starts an engine with cfg's worker pool running.
@@ -307,7 +431,6 @@ func newEngine(cfg Config, fn compileFunc) *Engine {
 	ctx, stop := context.WithCancel(context.Background())
 	e := &Engine{
 		cfg:         cfg,
-		queue:       make(chan *job, cfg.QueueSize),
 		cache:       newLRUCache(cfg.CacheSize),
 		compile:     fn,
 		ctx:         ctx,
@@ -316,11 +439,19 @@ func newEngine(cfg Config, fn compileFunc) *Engine {
 		jobs:        make(map[string]*job),
 		passSeconds: make(map[string]float64),
 	}
+	for i := range e.queues {
+		e.queues[i] = make(chan *job, cfg.QueueSize)
+	}
+	e.fpMemo.init(fpMemoLimit)
 	e.tel = newTelemetry(e, cfg.Logger, cfg.TraceBuffer)
 	e.benchInfos = computeBenchmarkInfos()
-	for i := 0; i < cfg.Workers; i++ {
-		e.wg.Add(1)
-		go e.worker()
+	e.poolMu.Lock()
+	e.workersTarget.Store(int64(cfg.Workers))
+	e.spawnLocked(cfg.Workers)
+	e.poolMu.Unlock()
+	if cfg.Admission.Enabled {
+		e.ctrl = admission.New(cfg.Admission, e, e, e.observeTick)
+		e.ctrl.Start()
 	}
 	return e
 }
@@ -337,7 +468,8 @@ func (e *Engine) beginSubmit() bool {
 	return true
 }
 
-// Close stops the workers, cancels running jobs, and fails queued ones.
+// Close stops the admission controller and the workers, cancels running
+// jobs, and fails queued ones.
 func (e *Engine) Close() {
 	e.closeMu.Lock()
 	already := e.closed.Swap(true)
@@ -345,17 +477,26 @@ func (e *Engine) Close() {
 	if already {
 		return
 	}
+	if e.ctrl != nil {
+		e.ctrl.Stop() // no more Resize calls from the control loop
+	}
+	// Let any in-flight Resize finish its spawns before waiting on the
+	// pool; later Resize calls observe closed and no-op.
+	e.poolMu.Lock()
+	e.poolMu.Unlock() //nolint:staticcheck // empty critical section is the barrier
 	e.stop()
 	e.wg.Wait()
 	e.inFlight.Wait()
 	// Workers are gone and no submitter is mid-enqueue; drain jobs still
-	// sitting in the queue.
-	for {
-		select {
-		case j := <-e.queue:
-			e.finish(j, &outcome{err: fmt.Errorf("service: %w", ErrClosed)}, false)
-		default:
-			return
+	// sitting in the queues.
+	for _, q := range e.queues {
+		for drained := false; !drained; {
+			select {
+			case j := <-q:
+				e.finish(j, &outcome{err: fmt.Errorf("service: %w", ErrClosed)}, false)
+			default:
+				drained = true
+			}
 		}
 	}
 }
@@ -414,6 +555,11 @@ func (e *Engine) resolve(req Request) (task, error) {
 			backendName, compiler.Names())}
 	}
 
+	prio, err := parsePriority(req.Priority)
+	if err != nil {
+		return task{}, err
+	}
+
 	tgt, err := e.resolveTarget(be, req, circ)
 	if err != nil {
 		return task{}, err
@@ -459,6 +605,7 @@ func (e *Engine) resolve(req Request) (task, error) {
 		hash:    hash,
 		key:     cacheKey(be.Name(), hash, tgt, opts),
 		class:   classOf(opts.NoisyShots),
+		prio:    prio,
 		backend: be,
 		target:  tgt,
 		circ:    circ,
@@ -504,7 +651,8 @@ func (e *Engine) resolveTarget(be compiler.Backend, req Request, circ *circuit.C
 		}
 		cfg := e.cfg.Hardware
 		if req.SLM < 0 || req.AODs < 0 || req.AODSize < 0 {
-			return compiler.Target{}, &RequestError{Msg: "machine override values (slm, aods, aodSize) must be positive"}
+			// Zero means "keep the engine default", so only negatives are out.
+			return compiler.Target{}, &RequestError{Msg: "machine override values (slm, aods, aodSize) must be non-negative"}
 		}
 		if hasMachine {
 			// Partial overrides keep the engine default for unset dimensions
@@ -611,9 +759,10 @@ func (e *Engine) newJob(callerCtx context.Context, t task) *job {
 }
 
 // Submit resolves and enqueues a job without waiting for it, failing fast
-// with ErrQueueFull when the queue is at capacity. ctx is consulted only for
-// a request-scoped trace ID (obs.ContextWithTraceID); it does not bound the
-// job's lifetime.
+// with an *OverloadedError (a 429 with computed Retry-After at the HTTP
+// layer) when the admission controller sheds the request's class or its
+// queue is at capacity. ctx is consulted only for a request-scoped trace ID
+// (obs.ContextWithTraceID); it does not bound the job's lifetime.
 func (e *Engine) Submit(ctx context.Context, req Request) (*Job, error) {
 	t, err := e.resolve(req)
 	if err != nil {
@@ -623,19 +772,36 @@ func (e *Engine) Submit(ctx context.Context, req Request) (*Job, error) {
 		return nil, ErrClosed
 	}
 	defer e.inFlight.Done()
+	// Admission gate: shed before the queue saturates. No job or trace is
+	// minted for a shed — only the decision counter and the controller's
+	// tick trace record it — so shed storms cost almost nothing.
+	if dec := e.admit(t.prio); !dec.Admit {
+		e.rejected.Add(1)
+		e.shedByClass[t.prio].Add(1)
+		e.tel.admissionDecisions.With(t.prio.String(), admissionShed).Inc()
+		e.tel.requests.With(backendLabel(t), t.class, outcomeRejected).Inc()
+		e.tel.log.Warn("job shed by admission control",
+			"backend", backendLabel(t), "class", t.class, "priority", t.prio.String(),
+			"benchmark", t.label, "retryAfter", dec.RetryAfter.Seconds())
+		return nil, &OverloadedError{RetryAfter: dec.RetryAfter, Reason: dec.Reason}
+	}
 	j := e.newJob(ctx, t)
 	select {
-	case e.queue <- j:
+	case e.queues[t.prio] <- j:
 		e.submitted.Add(1)
+		e.tel.admissionDecisions.With(t.prio.String(), admissionAdmitted).Inc()
 		e.logJob(j, "job queued")
 		return e.snapshot(j), nil
 	default:
 		e.rejected.Add(1)
+		e.tel.admissionDecisions.With(t.prio.String(), admissionQueueFull).Inc()
 		e.tel.requests.With(backendLabel(t), t.class, outcomeRejected).Inc()
 		e.tel.log.Warn("job rejected: queue full",
-			"backend", backendLabel(t), "class", t.class, "benchmark", t.label)
-		e.dropJob(j)
-		return nil, ErrQueueFull
+			"backend", backendLabel(t), "class", t.class, "priority", t.prio.String(),
+			"benchmark", t.label)
+		e.dropJob(j, "rejected")
+		return nil, &OverloadedError{RetryAfter: e.retryAfterEstimate(),
+			Reason: t.prio.String() + " queue full", QueueFull: true}
 	}
 }
 
@@ -667,22 +833,27 @@ func (e *Engine) submitBlocking(ctx context.Context, t task) (*job, error) {
 	defer e.inFlight.Done()
 	j := e.newJob(ctx, t)
 	select {
-	case e.queue <- j:
+	case e.queues[t.prio] <- j:
 		e.submitted.Add(1)
+		e.tel.admissionDecisions.With(t.prio.String(), admissionAdmitted).Inc()
 		e.logJob(j, "job queued")
 		return j, nil
 	case <-ctx.Done():
-		e.dropJob(j)
+		e.dropJob(j, "abandoned")
 		return nil, ctx.Err()
 	case <-e.ctx.Done():
-		e.dropJob(j)
+		e.dropJob(j, "closed")
 		return nil, ErrClosed
 	}
 }
 
-// dropJob unregisters a job that never entered the queue.
-func (e *Engine) dropJob(j *job) {
+// dropJob unregisters a job that never entered a queue, closing out its
+// trace into the ring so rejected traffic stays visible to GET /v1/traces.
+func (e *Engine) dropJob(j *job, state string) {
 	j.cancel()
+	j.trace.Root.SetAttr("state", state)
+	j.trace.Root.End()
+	e.tel.traces.Add(j.trace)
 	e.mu.Lock()
 	delete(e.jobs, j.id)
 	e.mu.Unlock()
@@ -724,22 +895,18 @@ func (e *Engine) Compile(ctx context.Context, req Request) (*Job, error) {
 // the default (atomique) backend through the queue, worker pool, and cache,
 // returning the metrics record. cmd/experiments points the figure drivers
 // here so repeated sweeps over identical (circuit, config, options) triples
-// hit the cache.
+// hit the cache. Jobs enter at batch priority: experiment sweeps must queue
+// behind interactive compiles, not starve them.
 func (e *Engine) CompileMetrics(ctx context.Context, cfg hardware.Config, circ *circuit.Circuit, opts compiler.Options) (metrics.Compiled, error) {
 	be, ok := compiler.Lookup(DefaultBackend)
 	if !ok {
 		return metrics.Compiled{}, fmt.Errorf("service: default backend %q not registered", DefaultBackend)
 	}
-	var hash string
-	if v, ok := e.fpMemo.Load(circ); ok {
-		hash = v.(string)
-	} else {
-		hash = circ.Fingerprint()
-		e.fpMemo.Store(circ, hash)
-	}
+	hash := e.fpMemo.fingerprint(circ)
 	tgt := compiler.FPQA(cfg)
 	t := task{label: "in-process", hash: hash, key: cacheKey(be.Name(), hash, tgt, opts),
-		class: classOf(opts.NoisyShots), backend: be, target: tgt, circ: circ, opts: opts}
+		class: classOf(opts.NoisyShots), prio: admission.Batch,
+		backend: be, target: tgt, circ: circ, opts: opts}
 	j, err := e.submitBlocking(ctx, t)
 	if err != nil {
 		return metrics.Compiled{}, err
@@ -810,40 +977,53 @@ func (e *Engine) Stats() Stats {
 	e.tel.latency.Each(func(labels []string, h *obs.Histogram) {
 		latencies[labels[0]+"/"+labels[1]] = h.Quantiles()
 	})
-	return Stats{
-		PassSeconds:   passSeconds,
-		PassRuns:      passRuns,
-		Latencies:     latencies,
-		Workers:       e.cfg.Workers,
-		WorkersBusy:   int(e.busy.Load()),
-		QueueCapacity: e.cfg.QueueSize,
-		QueueDepth:    len(e.queue),
-		Submitted:     e.submitted.Load(),
-		Completed:     e.completed.Load(),
-		Failed:        e.failed.Load(),
-		Cancelled:     e.cancelled.Load(),
-		Rejected:      e.rejected.Load(),
-		CacheHits:     e.hits.Load(),
-		CacheMisses:   e.misses.Load(),
-		CacheEntries:  e.cache.len(),
-		UptimeSeconds: time.Since(e.start).Seconds(),
+	st := Stats{
+		PassSeconds:           passSeconds,
+		PassRuns:              passRuns,
+		Latencies:             latencies,
+		Workers:               int(e.workersLive.Load()),
+		WorkersBusy:           int(e.busy.Load()),
+		WorkersTarget:         int(e.workersTarget.Load()),
+		WorkersMin:            e.cfg.WorkersMin,
+		WorkersMax:            e.cfg.WorkersMax,
+		QueueCapacity:         e.cfg.QueueSize,
+		QueueDepthInteractive: len(e.queues[admission.Interactive]),
+		QueueDepthBatch:       len(e.queues[admission.Batch]),
+		Submitted:             e.submitted.Load(),
+		Completed:             e.completed.Load(),
+		Failed:                e.failed.Load(),
+		Cancelled:             e.cancelled.Load(),
+		Rejected:              e.rejected.Load(),
+		Panics:                e.panics.Load(),
+		CacheHits:             e.hits.Load(),
+		CacheMisses:           e.misses.Load(),
+		CacheEntries:          e.cache.len(),
+		UptimeSeconds:         time.Since(e.start).Seconds(),
 	}
-}
-
-func (e *Engine) worker() {
-	defer e.wg.Done()
-	for {
-		select {
-		case <-e.ctx.Done():
-			return
-		case j := <-e.queue:
-			e.run(j)
+	st.QueueDepth = st.QueueDepthInteractive + st.QueueDepthBatch
+	if e.ctrl != nil {
+		t := e.ctrl.Last()
+		st.Admission = &AdmissionStats{
+			ArrivalRatePerSecond:            t.Lambda,
+			ServiceSecondsPerJob:            t.ServiceSeconds,
+			Utilization:                     t.Utilization,
+			PredictedInteractiveWaitSeconds: t.InteractiveWait.Seconds(),
+			PredictedBatchWaitSeconds:       t.BatchWait.Seconds(),
+			Saturation:                      t.Saturation,
+			ShedInteractive:                 t.ShedInteractive,
+			ShedBatch:                       t.ShedBatch,
+			ShedInteractiveTotal:            e.shedByClass[admission.Interactive].Load(),
+			ShedBatchTotal:                  e.shedByClass[admission.Batch].Load(),
 		}
 	}
+	return st
 }
 
 // run executes one job: skip if already cancelled, then compute through the
-// cache (coalescing with any in-flight identical computation).
+// cache (coalescing with any in-flight identical computation). The busy
+// gauge and service-time accounting are released by defer, and a panic that
+// escapes the backend-level recovery in execute (engine bookkeeping, not
+// backend code) still fails only this job — the worker survives.
 func (e *Engine) run(j *job) {
 	if j.ctx.Err() != nil {
 		e.finish(j, &outcome{err: fmt.Errorf("service: compilation cancelled: %w", j.ctx.Err())}, false)
@@ -860,8 +1040,17 @@ func (e *Engine) run(j *job) {
 	e.tel.queueWait.Observe(waited.Seconds())
 	j.trace.Root.Record("queue.wait", j.submitted, waited)
 	e.busy.Add(1)
+	start := time.Now()
+	defer func() {
+		e.busy.Add(-1)
+		e.busySeconds.Add(time.Since(start).Seconds())
+		e.executed.Add(1)
+		if r := recover(); r != nil {
+			e.recordPanic("worker", r)
+			e.finish(j, &outcome{err: fmt.Errorf("service: worker panic: %v", r)}, false)
+		}
+	}()
 	out, cached := e.compute(j.ctx, j.task)
-	e.busy.Add(-1)
 	e.finish(j, out, cached)
 }
 
@@ -921,11 +1110,22 @@ func (e *Engine) compute(ctx context.Context, t task) (*outcome, bool) {
 	}
 }
 
-// execute runs the task's backend and packages the result envelope.
-func (e *Engine) execute(ctx context.Context, t task) *outcome {
+// execute runs the task's backend and packages the result envelope. A panic
+// in the backend (or the noise replay) is recovered here — inside the cache
+// ownership window, so the reserved entry is still fulfilled and coalesced
+// waiters are woken with the failure instead of hanging — and converted into
+// a failed outcome; the worker stays alive (atomique_panics_total counts it).
+func (e *Engine) execute(ctx context.Context, t task) (out *outcome) {
 	// The compile span wraps the backend run; the pipeline runner sees it via
 	// ctx and attaches one "pass:<name>" child per pass.
 	cspan := obs.SpanFromContext(ctx).StartChild("compile")
+	defer func() {
+		if r := recover(); r != nil {
+			cspan.End()
+			e.recordPanic("backend "+backendLabel(t), r)
+			out = &outcome{err: fmt.Errorf("service: backend %s panicked: %v", backendLabel(t), r)}
+		}
+	}()
 	cctx := ctx
 	if cspan != nil {
 		cspan.SetAttr("backend", backendLabel(t))

@@ -4,6 +4,7 @@ import (
 	"log/slog"
 	"time"
 
+	"atomique/internal/admission"
 	"atomique/internal/obs"
 )
 
@@ -31,6 +32,14 @@ const (
 	cacheHit      = "hit"
 	cacheMiss     = "miss"
 	cacheCoalesce = "coalesce"
+)
+
+// Admission decision labels: admitted into a queue, shed by the controller
+// before the queue saturates, or rejected because the queue was full.
+const (
+	admissionAdmitted  = "admitted"
+	admissionShed      = "shed"
+	admissionQueueFull = "queue_full"
 )
 
 // telemetry is the engine's observability bundle: the metrics registry
@@ -61,6 +70,11 @@ type telemetry struct {
 	passLatency *obs.HistogramVec
 	// shots counts trajectory shots executed (throughput via rate()).
 	shots *obs.Counter
+	// panicsTotal counts backend panics recovered by workers.
+	panicsTotal *obs.Counter
+	// admissionDecisions counts submissions by priority class x decision
+	// (admitted / shed / queue_full) — the controller's visible effect.
+	admissionDecisions *obs.CounterVec
 }
 
 // newTelemetry builds the registry and registers every engine metric,
@@ -93,19 +107,70 @@ func newTelemetry(e *Engine, logger *slog.Logger, traceBuffer int) *telemetry {
 			nil, "pass"),
 		shots: r.Counter("atomique_trajectory_shots_total",
 			"Monte-Carlo trajectory shots executed by noisy-simulate jobs."),
+		panicsTotal: r.Counter("atomique_panics_total",
+			"Backend panics recovered by workers (the job failed, the worker survived)."),
+		admissionDecisions: r.CounterVec("atomique_admission_decisions_total",
+			"Submission decisions by priority class: admitted, shed (admission control), or queue_full.",
+			"priority", "decision"),
 	}
 	r.GaugeFunc("atomique_queue_depth",
-		"Jobs waiting in the bounded queue.",
-		func() float64 { return float64(len(e.queue)) })
+		"Jobs waiting in the bounded queues (both priority classes).",
+		func() float64 {
+			return float64(len(e.queues[admission.Interactive]) + len(e.queues[admission.Batch]))
+		})
+	r.GaugeFunc("atomique_queue_depth_interactive",
+		"Jobs waiting in the interactive queue.",
+		func() float64 { return float64(len(e.queues[admission.Interactive])) })
+	r.GaugeFunc("atomique_queue_depth_batch",
+		"Jobs waiting in the batch queue.",
+		func() float64 { return float64(len(e.queues[admission.Batch])) })
 	r.GaugeFunc("atomique_queue_capacity",
-		"Capacity of the bounded job queue.",
+		"Capacity of each bounded priority queue.",
 		func() float64 { return float64(e.cfg.QueueSize) })
 	r.GaugeFunc("atomique_workers",
-		"Size of the worker pool.",
-		func() float64 { return float64(e.cfg.Workers) })
+		"Live workers in the adaptive pool (including draining retirees).",
+		func() float64 { return float64(e.workersLive.Load()) })
+	r.GaugeFunc("atomique_workers_target",
+		"Worker-pool target set by Resize or the admission controller's actuator.",
+		func() float64 { return float64(e.workersTarget.Load()) })
 	r.GaugeFunc("atomique_workers_busy",
 		"Workers currently executing a job.",
 		func() float64 { return float64(e.busy.Load()) })
+	r.GaugeFunc("atomique_busy_seconds",
+		"Cumulative wall seconds workers spent executing jobs.",
+		func() float64 { return e.busySeconds.Value() })
+	r.GaugeFunc("atomique_admission_saturation",
+		"Predicted batch queue wait over the queue-wait objective (>1 sheds batch).",
+		func() float64 {
+			if t := e.admTick.Load(); t != nil {
+				return t.Saturation
+			}
+			return 0
+		})
+	r.GaugeFunc("atomique_admission_predicted_wait_seconds",
+		"Predicted queue wait for a new interactive submission.",
+		func() float64 {
+			if t := e.admTick.Load(); t != nil {
+				return t.InteractiveWait.Seconds()
+			}
+			return 0
+		})
+	r.GaugeFunc("atomique_admission_shed_batch",
+		"1 while the admission controller sheds batch submissions.",
+		func() float64 {
+			if t := e.admTick.Load(); t != nil && t.ShedBatch {
+				return 1
+			}
+			return 0
+		})
+	r.GaugeFunc("atomique_admission_shed_interactive",
+		"1 while the admission controller sheds interactive submissions.",
+		func() float64 {
+			if t := e.admTick.Load(); t != nil && t.ShedInteractive {
+				return 1
+			}
+			return 0
+		})
 	r.GaugeFunc("atomique_cache_entries",
 		"Entries in the content-addressed result cache (including in-flight).",
 		func() float64 { return float64(e.cache.len()) })
