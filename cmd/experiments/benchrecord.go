@@ -44,6 +44,12 @@ type benchRecord struct {
 	// NoisyShotsPerSecond is trajectory throughput (16384 shots of
 	// QAOA-regu3-12) per worker count — BenchmarkNoisyShots.
 	NoisyShotsPerSecond map[string]float64 `json:"noisyShotsPerSecond"`
+
+	// StabShotsPerSecond is Pauli-frame trajectory throughput on the
+	// stabilizer engine (16384 shots of a 128-qubit GHZ witness, default
+	// workers) — BenchmarkStabTrajectory. The dense engine cannot run this
+	// workload at all.
+	StabShotsPerSecond float64 `json:"stabShotsPerSecond,omitempty"`
 }
 
 // bestOf returns the minimum wall time of n runs of fn — the same
@@ -152,6 +158,34 @@ func runBenchRecord(path string, baseline float64) error {
 			break
 		}
 	}
+
+	// BenchmarkStabTrajectory: 16384 Pauli-frame trajectories of a
+	// 128-qubit GHZ witness through the stabilizer engine.
+	const stabWidth = 128
+	ghz := bench.GHZ(stabWidth)
+	stabW := noise.Witness{NSlots: stabWidth, Gates: ghz.Gates}
+	stabModel := noise.Model{Channels: []noise.Channel{
+		{Label: "1q-gate", Kind: noise.Pauli1Q, Trials: 1, Prob: 2e-3},
+		{Label: "2q-gate", Kind: noise.Pauli2Q, Trials: stabWidth - 1, Prob: 5e-3},
+		{Label: "decoherence", Kind: noise.Dephase, Trials: stabWidth, Prob: 1e-3},
+		{Label: "transfer", Kind: noise.Loss, Trials: stabWidth, Prob: 2e-4},
+	}}
+	sec, err = bestOf(3, func() error {
+		est, err := noise.Simulate(context.Background(), stabModel, stabW,
+			noise.Run{Shots: shots, Seed: 1})
+		if err != nil {
+			return err
+		}
+		if est.Engine != noise.EngineStab {
+			return fmt.Errorf("stab workload dispatched to engine %q", est.Engine)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	rec.StabShotsPerSecond = float64(shots) / sec
+	fmt.Printf("stab ghz-%d    %.0f shots/s\n", stabWidth, rec.StabShotsPerSecond)
 
 	js, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {

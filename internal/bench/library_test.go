@@ -32,7 +32,7 @@ func TestWStateAmplitudes(t *testing.T) {
 	// state and zero elsewhere.
 	for _, n := range []int{2, 3, 4, 5} {
 		c := WState(n)
-		s := sim.NewState(n)
+		s := sim.MustNew(n)
 		s.Run(c)
 		want := 1 / math.Sqrt(float64(n))
 		for idx, amp := range s.Amp {
@@ -66,7 +66,7 @@ func TestGroverAmplifiesMarkedState(t *testing.T) {
 	// probability 25/32 ~ 0.78 (vs 1/8 uniform). The circuit spans one
 	// ancilla (in |0> before and after), so the target basis index is 0b0111.
 	c := Grover(3, 1)
-	s := sim.NewState(c.N)
+	s := sim.MustNew(c.N)
 	s.Run(c)
 	p := prob(s, 0b0111)
 	if math.Abs(p-25.0/32.0) > 1e-9 {
@@ -75,7 +75,7 @@ func TestGroverAmplifiesMarkedState(t *testing.T) {
 	// Two search qubits need no ancilla and one round finds the target
 	// deterministically.
 	c2 := Grover(2, 1)
-	s2 := sim.NewState(c2.N)
+	s2 := sim.MustNew(c2.N)
 	s2.Run(c2)
 	if p := prob(s2, 0b11); math.Abs(p-1) > 1e-9 {
 		t.Errorf("Grover(2,1): P(|11>) = %v, want 1", p)

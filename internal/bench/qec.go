@@ -1,0 +1,112 @@
+package bench
+
+import (
+	"math"
+
+	"atomique/internal/circuit"
+)
+
+// TeleportChain returns a coherent teleportation chain on n qubits (n odd,
+// >= 3): a |+i> payload on qubit 0 is teleported hop by hop to qubit n-1,
+// with every Bell measurement deferred into its coherent correction (CX then
+// CZ from the measured pair onto the receiver). The circuit is Clifford-only
+// (H, CX, CZ, RZ(pi/2)), so it verifies through the stabilizer engine at any
+// width — the long-range entanglement-distribution workload of the
+// paper-scale conformance battery.
+func TeleportChain(n int) *circuit.Circuit {
+	if n < 3 || n%2 == 0 {
+		panic("bench: TeleportChain needs odd n >= 3")
+	}
+	c := circuit.New(n)
+	// Payload |+i> = S H |0> on qubit 0.
+	c.H(0)
+	c.RZ(0, math.Pi/2)
+	for i := 0; i+2 < n; i += 2 {
+		// Bell pair shared between the relay (i+1) and the receiver (i+2).
+		c.H(i + 1)
+		c.CX(i+1, i+2)
+		// Bell-basis change on (sender, relay); the measurement is deferred.
+		c.CX(i, i+1)
+		c.H(i)
+		// Coherent Pauli corrections controlled on the would-be outcomes.
+		c.CX(i+1, i+2)
+		c.CZ(i, i+2)
+	}
+	return c
+}
+
+// SurfaceCodeCycle returns `rounds` syndrome-extraction cycles of the rotated
+// surface code at odd distance d: d*d data qubits on a square grid plus
+// d*d-1 syndrome ancillas (one per stabilizer), 2*d*d-1 qubits total. Each
+// round extracts every X stabilizer (H, CX fan-out from the ancilla, H) and
+// every Z stabilizer (CX fan-in to the ancilla); ancilla measurement and
+// reset are deferred, so the circuit is pure Clifford fabric — the first QEC
+// workload the compilers are exercised on.
+//
+// Plaquette layout is the standard rotated code: (d-1)^2 interior weight-4
+// stabilizers on a checkerboard, weight-2 X stabilizers on the north/south
+// boundaries and weight-2 Z stabilizers on the east/west boundaries.
+func SurfaceCodeCycle(d, rounds int) *circuit.Circuit {
+	if d < 3 || d%2 == 0 {
+		panic("bench: SurfaceCodeCycle needs odd distance >= 3")
+	}
+	if rounds < 1 {
+		panic("bench: SurfaceCodeCycle needs at least one round")
+	}
+	nData := d * d
+	type plaquette struct {
+		isX     bool
+		support []int
+	}
+	var plaqs []plaquette
+	// Candidate plaquette (r,c) sits between data rows r,r+1 and columns
+	// c,c+1; r and c range over -1..d-1 so boundary checks are included.
+	for r := -1; r < d; r++ {
+		for col := -1; col < d; col++ {
+			isX := ((r+col)%2+2)%2 == 0
+			interiorR := r >= 0 && r < d-1
+			interiorC := col >= 0 && col < d-1
+			switch {
+			case interiorR && interiorC:
+				// Full checkerboard in the bulk.
+			case (r == -1 || r == d-1) && interiorC && isX:
+				// North/south boundary keeps only X checks.
+			case (col == -1 || col == d-1) && interiorR && !isX:
+				// East/west boundary keeps only Z checks.
+			default:
+				continue
+			}
+			var sup []int
+			for _, dr := range [2]int{0, 1} {
+				for _, dc := range [2]int{0, 1} {
+					rr, cc := r+dr, col+dc
+					if rr >= 0 && rr < d && cc >= 0 && cc < d {
+						sup = append(sup, rr*d+cc)
+					}
+				}
+			}
+			plaqs = append(plaqs, plaquette{isX, sup})
+		}
+	}
+	if len(plaqs) != nData-1 {
+		panic("bench: surface-code plaquette count != d*d-1")
+	}
+	c := circuit.New(2*nData - 1)
+	for round := 0; round < rounds; round++ {
+		for i, p := range plaqs {
+			a := nData + i
+			if p.isX {
+				c.H(a)
+				for _, q := range p.support {
+					c.CX(a, q)
+				}
+				c.H(a)
+			} else {
+				for _, q := range p.support {
+					c.CX(q, a)
+				}
+			}
+		}
+	}
+	return c
+}

@@ -1,0 +1,79 @@
+package bench
+
+import (
+	"math"
+	"testing"
+
+	"atomique/internal/sim"
+	"atomique/internal/stab"
+)
+
+// TestTeleportChainTeleports checks the semantic contract dense-exactly at
+// small widths: after the chain, qubit n-1 holds the |+i> payload and every
+// consumed qubit is left in |+>, i.e. the state is a uniform-magnitude
+// product with phase i exactly when the receiver bit is set.
+func TestTeleportChainTeleports(t *testing.T) {
+	for _, n := range []int{3, 5, 7} {
+		c := TeleportChain(n)
+		s := sim.MustNew(n)
+		s.Run(c)
+		want := 1 / math.Sqrt(float64(int(1)<<n))
+		base := s.Amp[0] // fixes the global phase
+		if mag := math.Hypot(real(base), imag(base)); math.Abs(mag-want) > 1e-9 {
+			t.Fatalf("TeleportChain(%d): |amp[0]| = %v, want uniform %v", n, mag, want)
+		}
+		for idx, amp := range s.Amp {
+			expect := base
+			if idx>>(n-1)&1 == 1 {
+				expect *= complex(0, 1) // payload phase i on the receiver
+			}
+			if d := math.Hypot(real(amp-expect), imag(amp-expect)); d > 1e-9 {
+				t.Fatalf("TeleportChain(%d): amp[%b] = %v, want %v", n, idx, amp, expect)
+			}
+		}
+	}
+	mustPanic(t, func() { TeleportChain(4) })
+	mustPanic(t, func() { TeleportChain(1) })
+}
+
+// TestSurfaceCodeCycleStructure pins the rotated-code accounting: 2d^2-1
+// qubits, d^2-1 stabilizers ((d^2-1)/2 of each type), 4d(d-1) CX and d^2-1 H
+// per round, Clifford throughout, and wide instances run on the tableau.
+func TestSurfaceCodeCycleStructure(t *testing.T) {
+	for _, d := range []int{3, 5, 7} {
+		for _, rounds := range []int{1, 2} {
+			c := SurfaceCodeCycle(d, rounds)
+			if c.N != 2*d*d-1 {
+				t.Fatalf("d=%d: qubits = %d, want %d", d, c.N, 2*d*d-1)
+			}
+			if !c.IsClifford() {
+				t.Fatalf("d=%d: surface-code cycle is not Clifford", d)
+			}
+			cx, h := 0, 0
+			for _, g := range c.Gates {
+				switch g.Op.String() {
+				case "cx":
+					cx++
+				case "h":
+					h++
+				}
+			}
+			if wantCX := rounds * 4 * d * (d - 1); cx != wantCX {
+				t.Errorf("d=%d rounds=%d: CX = %d, want %d", d, rounds, cx, wantCX)
+			}
+			if wantH := rounds * (d*d - 1); h != wantH {
+				t.Errorf("d=%d rounds=%d: H = %d, want %d", d, rounds, h, wantH)
+			}
+		}
+	}
+	// d=7, 97 qubits: far beyond the dense wall, trivial for the tableau.
+	tb, err := stab.FromCircuit(SurfaceCodeCycle(7, 2))
+	if err != nil {
+		t.Fatalf("tableau replay of SurfaceCodeCycle(7,2): %v", err)
+	}
+	if tb.N() != 97 {
+		t.Fatalf("tableau width %d, want 97", tb.N())
+	}
+	mustPanic(t, func() { SurfaceCodeCycle(2, 1) })
+	mustPanic(t, func() { SurfaceCodeCycle(3, 0) })
+}

@@ -124,6 +124,12 @@ type Options struct {
 	NoisyShots int `json:"noisyShots,omitempty"`
 	// NoiseSeed seeds trajectory sampling, independently of Seed.
 	NoiseSeed int64 `json:"noiseSeed,omitempty"`
+	// Engine selects the trajectory simulation engine ("auto", "dense",
+	// "stab"; empty = auto): auto dispatches Clifford witnesses to the
+	// stabilizer engine and everything else to the dense state-vector.
+	// Part of the cache key, so runs pinned to different engines never
+	// alias.
+	Engine string `json:"engine,omitempty"`
 	// NoiseScale multiplies every noise-channel probability (0 = 1.0), for
 	// sensitivity probing.
 	NoiseScale float64 `json:"noiseScale,omitempty"`

@@ -16,6 +16,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -26,6 +27,7 @@ import (
 	"atomique/internal/metrics"
 	"atomique/internal/noise"
 	"atomique/internal/sim"
+	"atomique/internal/stab"
 )
 
 // Circuit returns the conformance workload: a 10-qubit circuit of H/RZ/CX
@@ -242,28 +244,37 @@ func runHonesty(t *testing.T, b compiler.Backend) {
 	})
 }
 
-// maxSimQubits bounds the witness width the verifier will replay;
-// conformance circuits are sized to stay under it for every backend. It is
-// the trajectory engine's cap so a witness that verifies here can always be
-// simulated noisily too.
+// maxSimQubits bounds the witness width the dense verifier will replay. It
+// is the dense trajectory engine's cap so a witness that dense-verifies here
+// can always be simulated noisily too. Clifford witnesses bypass it entirely
+// through the stabilizer engine, up to stab.MaxQubits.
 const maxSimQubits = noise.MaxQubits
 
-// VerifyResult replays a compilation's program witness through the
-// state-vector simulator and checks it is semantically equivalent to the
-// source circuit up to the routing permutation: executing the witness on
-// |0...0> must equal the source's output state embedded at the witness's
-// final placement (all non-data slots back in |0>). It returns nil for a
-// faithful compilation and a descriptive error otherwise.
+// VerifyResult checks a compilation's program witness is semantically
+// equivalent to the source circuit up to the routing permutation: executing
+// the witness on |0...0> must equal the source's output state embedded at
+// the witness's final placement (all non-data slots back in |0>). It returns
+// nil for a faithful compilation and a descriptive error otherwise.
+//
+// Dispatch is automatic: when both the source and the witness are
+// Clifford-only, equivalence is established in the stabilizer tableau
+// (internal/stab) — O(n³) bit operations, good to hundreds of qubits — and
+// the dense state-vector replay is the fallback for everything else, capped
+// at maxSimQubits.
 func VerifyResult(src *circuit.Circuit, res *compiler.Result) error {
+	return VerifyResultEngine(src, res, noise.EngineAuto)
+}
+
+// VerifyResultEngine is VerifyResult with the replay engine pinned — the
+// hook the engine cross-check suite uses to demand that the dense and
+// stabilizer verifiers agree on the same compilation.
+func VerifyResultEngine(src *circuit.Circuit, res *compiler.Result, engine string) error {
 	p := res.Program
 	if p == nil {
 		return errors.New("completed result carries no program witness")
 	}
 	if p.NSlots < src.N {
 		return fmt.Errorf("witness register (%d slots) narrower than the source (%d qubits)", p.NSlots, src.N)
-	}
-	if p.NSlots > maxSimQubits {
-		return fmt.Errorf("witness register %d slots wide; verifier handles at most %d", p.NSlots, maxSimQubits)
 	}
 	if len(p.FinalSlot) != src.N {
 		return fmt.Errorf("final placement covers %d qubits, want %d", len(p.FinalSlot), src.N)
@@ -278,19 +289,75 @@ func VerifyResult(src *circuit.Circuit, res *compiler.Result) error {
 		}
 		seen[s] = true
 	}
-	got := sim.NewState(p.NSlots)
 	for i, g := range p.Gates {
 		if g.Q0 < 0 || g.Q0 >= p.NSlots || (g.IsTwoQubit() && (g.Q1 < 0 || g.Q1 >= p.NSlots)) {
 			return fmt.Errorf("witness gate %d (%v) addresses a slot outside [0,%d)", i, g, p.NSlots)
 		}
+	}
+	switch engine {
+	case noise.EngineStab:
+		return verifyStab(src, p)
+	case noise.EngineDense:
+		return verifyDense(src, p)
+	default: // auto
+		if src.IsClifford() && circuit.AllClifford(p.Gates) && p.NSlots <= stab.MaxQubits {
+			return verifyStab(src, p)
+		}
+		return verifyDense(src, p)
+	}
+}
+
+// verifyDense is the state-vector equivalence check (≤ maxSimQubits).
+func verifyDense(src *circuit.Circuit, p *compiler.Program) error {
+	if p.NSlots > maxSimQubits {
+		return fmt.Errorf("witness register %d slots wide; the dense verifier handles at most %d (Clifford witnesses dispatch to the stabilizer verifier)", p.NSlots, maxSimQubits)
+	}
+	got := sim.MustNew(p.NSlots)
+	for _, g := range p.Gates {
 		got.Apply(g)
 	}
-	want := sim.NewState(src.N)
+	want := sim.MustNew(src.N)
 	want.Run(src)
 	expected := want.Embed(p.NSlots, p.FinalSlot)
 	if f := sim.Fidelity(got, expected); f < 1-1e-7 {
 		return fmt.Errorf("witness not equivalent to source: fidelity %v (%d gates, %d slots)",
 			f, len(p.Gates), p.NSlots)
+	}
+	return nil
+}
+
+// verifyStab is the tableau equivalence check for Clifford compilations at
+// any width: the expected state's tableau is built by running the source
+// gates relabelled onto their final slots, and the witness state equals it
+// iff every one of its stabilizer generators has expectation +1 in the
+// witness tableau (the n generators uniquely determine a stabilizer state).
+func verifyStab(src *circuit.Circuit, p *compiler.Program) error {
+	got, err := stab.New(p.NSlots)
+	if err != nil {
+		return fmt.Errorf("witness tableau: %w", err)
+	}
+	if err := got.Run(p.Gates); err != nil {
+		return fmt.Errorf("witness tableau: %w", err)
+	}
+	want, err := stab.New(p.NSlots)
+	if err != nil {
+		return fmt.Errorf("reference tableau: %w", err)
+	}
+	for i, g := range src.Gates {
+		g.Q0 = p.FinalSlot[g.Q0]
+		if g.IsTwoQubit() {
+			g.Q1 = p.FinalSlot[g.Q1]
+		}
+		if err := want.ApplyGate(g); err != nil {
+			return fmt.Errorf("reference tableau: source gate %d: %w", i, err)
+		}
+	}
+	for i := 0; i < p.NSlots; i++ {
+		gen := want.StabilizerPauli(i)
+		if e := got.Expectation(gen); e != 1 {
+			return fmt.Errorf("witness not equivalent to source: stabilizer generator %d (%v) has expectation %d, want +1 (%d gates, %d slots)",
+				i, gen, e, len(p.Gates), p.NSlots)
+		}
 	}
 	return nil
 }
@@ -323,6 +390,50 @@ func RandomCircuit(rng *rand.Rand, n, gates int) *circuit.Circuit {
 		}
 	}
 	return c
+}
+
+// RandomCliffordCircuit returns one random Clifford-only circuit over n
+// qubits: the same gate mix as RandomCircuit, with every rotation pinned to
+// a Clifford quarter-turn. It is the shared corpus generator for the
+// stabilizer-vs-dense engine cross-checks.
+func RandomCliffordCircuit(rng *rand.Rand, n, gates int) *circuit.Circuit {
+	angles := []float64{math.Pi / 2, -math.Pi / 2, math.Pi}
+	angle := func() float64 { return angles[rng.Intn(len(angles))] }
+	c := circuit.New(n)
+	for i := 0; i < gates; i++ {
+		switch rng.Intn(8) {
+		case 0:
+			c.H(rng.Intn(n))
+		case 1:
+			c.X(rng.Intn(n))
+		case 2:
+			c.RZ(rng.Intn(n), angle())
+		case 3:
+			c.RX(rng.Intn(n), angle())
+		case 4, 5:
+			a, b := pick2(n, rng)
+			c.CX(a, b)
+		case 6:
+			a, b := pick2(n, rng)
+			c.CZ(a, b)
+		case 7:
+			a, b := pick2(n, rng)
+			c.ZZ(a, b, angle())
+		}
+	}
+	return c
+}
+
+// CliffordDifferentialCircuits returns the Clifford cross-check corpus:
+// count Clifford circuits over 4..maxQubits qubits, deterministic per seed.
+func CliffordDifferentialCircuits(seed int64, count, maxQubits int) []*circuit.Circuit {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]*circuit.Circuit, count)
+	for i := range out {
+		n := 4 + rng.Intn(maxQubits-3)
+		out[i] = RandomCliffordCircuit(rng, n, 10+rng.Intn(40))
+	}
+	return out
 }
 
 // DifferentialCircuits returns the shared random-circuit corpus of the

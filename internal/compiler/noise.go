@@ -40,7 +40,7 @@ func AttachNoise(ctx context.Context, tgt Target, res *Result, opts Options) err
 		Scaled(opts.NoiseScale)
 	est, err := noise.Simulate(ctx, model,
 		noise.Witness{NSlots: res.Program.NSlots, Gates: res.Program.Gates},
-		noise.Run{Shots: opts.NoisyShots, Seed: opts.NoiseSeed})
+		noise.Run{Shots: opts.NoisyShots, Seed: opts.NoiseSeed, Engine: opts.Engine})
 	if err != nil {
 		return fmt.Errorf("%s: %w", res.Backend, err)
 	}

@@ -14,7 +14,7 @@ import (
 // runSchedule executes a compiled schedule's gate stream (1Q batches and
 // parallel 2Q batches, in stage order) on |0...0> over the physical slots.
 func runSchedule(res *Result, nSlots int) *sim.State {
-	s := sim.NewState(nSlots)
+	s := sim.MustNew(nSlots)
 	applyStages(s, res)
 	return s
 }
@@ -45,7 +45,7 @@ func semanticsCheck(t *testing.T, cfg hardware.Config, c *circuit.Circuit, opts 
 	}
 	got := runSchedule(res, nSlots)
 
-	want := sim.NewState(c.N)
+	want := sim.MustNew(c.N)
 	want.Run(c)
 	expected := want.Embed(nSlots, res.FinalSlotOf)
 
@@ -140,7 +140,7 @@ func TestScheduleSemanticsProperty(t *testing.T) {
 			return false
 		}
 		got := runSchedule(res, len(res.SiteOf))
-		want := sim.NewState(c.N)
+		want := sim.MustNew(c.N)
 		want.Run(c)
 		expected := want.Embed(len(res.SiteOf), res.FinalSlotOf)
 		return sim.Fidelity(got, expected) > 1-1e-7

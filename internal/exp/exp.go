@@ -50,6 +50,7 @@ func All() []Experiment {
 		{"scaling", "Scaling: compile time vs circuit size", Scaling},
 		{"zoned", "Zoned vs flat FPQA comparison (ZAP-style scenario)", ZonedVsFlat},
 		{"noise", "Noise-model validation: empirical trajectory vs analytic fidelity", NoiseValidation},
+		{"qec", "QEC: surface-code cycles on the zoned backend via the stabilizer engine", SurfaceCode},
 	}
 }
 

@@ -57,3 +57,34 @@ func BenchmarkNoisyShots(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkStabTrajectory measures Pauli-frame trajectory throughput on the
+// stabilizer engine at a width (128 qubits) the dense engine cannot touch.
+// A GHZ chain keeps the witness Clifford while exercising the full frame
+// conjugation sweep; the model mirrors the neutral-atom channel mix. CI runs
+// it as a smoke test (-benchtime=1x).
+func BenchmarkStabTrajectory(b *testing.B) {
+	const n = 128
+	circ := bench.GHZ(n)
+	w := noise.Witness{NSlots: n, Gates: circ.Gates}
+	model := noise.Model{Channels: []noise.Channel{
+		{Label: "1q-gate", Kind: noise.Pauli1Q, Trials: 1, Prob: 2e-3},
+		{Label: "2q-gate", Kind: noise.Pauli2Q, Trials: n - 1, Prob: 5e-3},
+		{Label: "decoherence", Kind: noise.Dephase, Trials: n, Prob: 1e-3},
+		{Label: "transfer", Kind: noise.Loss, Trials: n, Prob: 2e-4},
+	}}
+
+	const shots = 16384
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		est, err := noise.Simulate(context.Background(), model, w,
+			noise.Run{Shots: shots, Seed: int64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if est.Engine != noise.EngineStab {
+			b.Fatalf("engine %q, want stab", est.Engine)
+		}
+	}
+	b.ReportMetric(float64(shots*b.N)/b.Elapsed().Seconds(), "shots/s")
+}

@@ -2,6 +2,7 @@ package noise
 
 import (
 	"context"
+	"errors"
 	"math"
 	"reflect"
 	"testing"
@@ -9,6 +10,7 @@ import (
 	"atomique/internal/circuit"
 	"atomique/internal/hardware"
 	"atomique/internal/metrics"
+	"atomique/internal/stab"
 )
 
 // bellWitness is H(0); CX(0,1) — the Bell-pair preparation.
@@ -219,8 +221,29 @@ func TestSimulateErrors(t *testing.T) {
 	if _, err := Simulate(context.Background(), mo, bellWitness(), Run{Shots: 0}); err == nil {
 		t.Error("zero shots accepted")
 	}
-	if _, err := Simulate(context.Background(), mo, Witness{NSlots: MaxQubits + 1}, Run{Shots: 1}); err == nil {
-		t.Error("overwide witness accepted")
+	// A Clifford (here: gate-free) witness beyond the dense cap dispatches
+	// to the stabilizer engine instead of failing.
+	if _, err := Simulate(context.Background(), mo, Witness{NSlots: MaxQubits + 1}, Run{Shots: 1}); err != nil {
+		t.Errorf("Clifford witness beyond the dense cap rejected: %v", err)
+	}
+	// A non-Clifford witness has only the dense engine, so its cap applies.
+	tGate := []circuit.Gate{{Op: circuit.OpT, Q0: 0, Q1: -1}}
+	if _, err := Simulate(context.Background(), mo, Witness{NSlots: MaxQubits + 1, Gates: tGate}, Run{Shots: 1}); err == nil {
+		t.Error("overwide non-Clifford witness accepted")
+	}
+	// Nothing handles witnesses beyond the stabilizer cap.
+	if _, err := Simulate(context.Background(), mo, Witness{NSlots: MaxStabQubits + 1}, Run{Shots: 1}); err == nil {
+		t.Error("witness beyond the stabilizer cap accepted")
+	}
+	if _, err := Simulate(context.Background(), mo, bellWitness(), Run{Shots: 1, Engine: "bogus"}); err == nil {
+		t.Error("unknown engine accepted")
+	}
+	if _, err := Simulate(context.Background(), mo, Witness{NSlots: MaxQubits + 1, Gates: nil}, Run{Shots: 1, Engine: EngineDense}); err == nil {
+		t.Error("engine=dense accepted an overwide witness")
+	}
+	var nce *stab.NonCliffordError
+	if _, err := Simulate(context.Background(), mo, Witness{NSlots: 2, Gates: tGate}, Run{Shots: 1, Engine: EngineStab}); !errors.As(err, &nce) {
+		t.Errorf("engine=stab on a T gate: err = %v, want *stab.NonCliffordError", err)
 	}
 	bad := Witness{NSlots: 2, Gates: []circuit.Gate{{Op: circuit.OpCX, Q0: 0, Q1: 5}}}
 	if _, err := Simulate(context.Background(), mo, bad, Run{Shots: 1}); err == nil {

@@ -14,11 +14,40 @@ import (
 	"atomique/internal/circuit"
 	"atomique/internal/obs"
 	"atomique/internal/sim"
+	"atomique/internal/stab"
 )
 
-// MaxQubits bounds the witness width the trajectory engine will replay,
-// matching the conformance verifier's dense-simulator budget.
+// MaxQubits bounds the witness width the dense trajectory engine will
+// replay — the O(2^n) fallback for non-Clifford witnesses.
 const MaxQubits = 22
+
+// MaxStabQubits bounds the stabilizer trajectory engine. Tableau memory and
+// per-gate cost grow only quadratically, so this is a service-sanity cap at
+// paper-scale widths, far above the dense wall.
+const MaxStabQubits = 1024
+
+// Trajectory engine names, as accepted by Run.Engine and the service's
+// engine request field.
+const (
+	// EngineAuto (or empty) dispatches Clifford witnesses to the stabilizer
+	// engine and everything else to the dense fallback.
+	EngineAuto = "auto"
+	// EngineDense forces the dense state-vector replay (≤ MaxQubits).
+	EngineDense = "dense"
+	// EngineStab forces the stabilizer tableau replay; the witness must be
+	// Clifford-only or Simulate returns a *stab.NonCliffordError.
+	EngineStab = "stab"
+)
+
+// ValidEngine reports whether name is an accepted Run.Engine value
+// (the empty string means EngineAuto).
+func ValidEngine(name string) bool {
+	switch name {
+	case "", EngineAuto, EngineDense, EngineStab:
+		return true
+	}
+	return false
+}
 
 // Witness is the executable gate stream a compilation produced — a mirror of
 // compiler.Program's simulation-relevant fields, redeclared here so the
@@ -39,6 +68,11 @@ type Run struct {
 	Seed int64
 	// Workers is the parallel shot-executor count (0 = GOMAXPROCS).
 	Workers int
+	// Engine selects the replay engine: EngineAuto (or ""), EngineDense, or
+	// EngineStab. Auto dispatches Clifford witnesses to the stabilizer
+	// tableau — which handles hundreds to thousands of qubits — and falls
+	// back to the dense state vector otherwise.
+	Engine string
 }
 
 // ChannelReport is one channel's sampled-event tally in an Estimate.
@@ -55,6 +89,9 @@ type ChannelReport struct {
 type Estimate struct {
 	Shots int   `json:"shots"`
 	Seed  int64 `json:"seed"`
+	// Engine is the replay engine that scored the trajectories ("dense" or
+	// "stab"), after auto-dispatch resolution.
+	Engine string `json:"engine,omitempty"`
 	// Fidelity is the mean trajectory overlap |<ideal|traj>|^2 with the
 	// noise-free execution of the same witness.
 	Fidelity float64 `json:"fidelity"`
@@ -144,18 +181,51 @@ type partial struct {
 	events      []int64
 }
 
+// ResolveEngine performs auto-dispatch for a witness: the engine Simulate
+// will score trajectories with, given the requested engine name ("" meaning
+// auto). It does not validate width limits — Simulate reports those.
+func ResolveEngine(requested string, w Witness) string {
+	switch requested {
+	case EngineDense, EngineStab:
+		return requested
+	default: // "", EngineAuto
+		if circuit.AllClifford(w.Gates) && w.NSlots <= MaxStabQubits {
+			return EngineStab
+		}
+		return EngineDense
+	}
+}
+
 // Simulate runs the Monte-Carlo trajectory estimation: Shots independent
 // replays of the witness under the model's sampled error events, scored
 // against the witness's noise-free output state. Shots that sample no event
-// skip the state-vector replay entirely (their overlap is exactly 1), so
-// high-fidelity programs execute at event-sampling speed and the shot loop
-// stays embarrassingly parallel.
+// skip the replay entirely (their overlap is exactly 1), so high-fidelity
+// programs execute at event-sampling speed and the shot loop stays
+// embarrassingly parallel.
+//
+// Clifford witnesses dispatch (under EngineAuto) to the stabilizer tableau:
+// sampled Pauli errors propagate as a Pauli frame and each trajectory scores
+// 0 or 1 by a stabilizer syndrome check, in O(n) per gate instead of O(2^n).
+// Both engines consume the identical per-shot random stream, so Survival,
+// event tallies — and, for Clifford witnesses, Fidelity — agree across
+// engines; results remain deterministic per (model, witness, shots, seed,
+// engine) whatever the worker count.
 func Simulate(ctx context.Context, mo Model, w Witness, run Run) (*Estimate, error) {
 	if run.Shots <= 0 {
 		return nil, fmt.Errorf("noise: shots must be positive, got %d", run.Shots)
 	}
-	if w.NSlots <= 0 || w.NSlots > MaxQubits {
-		return nil, fmt.Errorf("noise: witness register %d slots wide; trajectory engine handles 1..%d", w.NSlots, MaxQubits)
+	if !ValidEngine(run.Engine) {
+		return nil, fmt.Errorf("noise: unknown engine %q (want %s, %s, or %s)", run.Engine, EngineAuto, EngineDense, EngineStab)
+	}
+	if w.NSlots <= 0 {
+		return nil, fmt.Errorf("noise: witness register %d slots wide; want at least 1", w.NSlots)
+	}
+	engine := ResolveEngine(run.Engine, w)
+	switch {
+	case engine == EngineDense && w.NSlots > MaxQubits:
+		return nil, fmt.Errorf("noise: witness register %d slots wide; the dense trajectory engine handles 1..%d (Clifford witnesses dispatch to engine=stab)", w.NSlots, MaxQubits)
+	case engine == EngineStab && w.NSlots > MaxStabQubits:
+		return nil, fmt.Errorf("noise: witness register %d slots wide; the stabilizer trajectory engine handles 1..%d", w.NSlots, MaxStabQubits)
 	}
 	for i, g := range w.Gates {
 		if g.Q0 < 0 || g.Q0 >= w.NSlots || (g.IsTwoQubit() && (g.Q1 < 0 || g.Q1 >= w.NSlots)) {
@@ -173,15 +243,35 @@ func Simulate(ctx context.Context, mo Model, w Witness, run Run) (*Estimate, err
 	// child limit. Untraced callers pay a nil check.
 	parent := obs.SpanFromContext(ctx)
 
-	// The noise-free reference state, shared read-only by every worker.
+	// The noise-free reference, shared read-only by every worker: a dense
+	// state vector, or the final stabilizer tableau.
 	replaySpan := parent.StartChild("witness.replay")
-	ideal := sim.NewState(w.NSlots)
-	for _, g := range w.Gates {
-		ideal.Apply(g)
+	var ideal *sim.State
+	var tab *stab.Tableau
+	switch engine {
+	case EngineStab:
+		t, err := stab.New(w.NSlots)
+		if err != nil {
+			return nil, fmt.Errorf("noise: %w", err)
+		}
+		if err := t.Run(w.Gates); err != nil {
+			return nil, fmt.Errorf("noise: engine=%s: %w", EngineStab, err)
+		}
+		tab = t
+	default:
+		st, err := sim.NewState(w.NSlots)
+		if err != nil {
+			return nil, fmt.Errorf("noise: %w", err)
+		}
+		for _, g := range w.Gates {
+			st.Apply(g)
+		}
+		ideal = st
 	}
 	if replaySpan != nil {
 		replaySpan.SetAttr("slots", strconv.Itoa(w.NSlots))
 		replaySpan.SetAttr("gates", strconv.Itoa(len(w.Gates)))
+		replaySpan.SetAttr("engine", engine)
 		replaySpan.End()
 	}
 
@@ -202,6 +292,7 @@ func Simulate(ctx context.Context, mo Model, w Witness, run Run) (*Estimate, err
 		trajSpan.SetAttr("shots", strconv.Itoa(run.Shots))
 		trajSpan.SetAttr("chunks", strconv.Itoa(numChunks))
 		trajSpan.SetAttr("workers", strconv.Itoa(workers))
+		trajSpan.SetAttr("engine", engine)
 	}
 	partials := make([]partial, numChunks)
 	var nextChunk atomic.Int64
@@ -211,7 +302,7 @@ func Simulate(ctx context.Context, mo Model, w Witness, run Run) (*Estimate, err
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			sh := newShotSim(mo, w, ideal, oneQSites, twoQSites)
+			sh := newShotSim(mo, w, ideal, tab, oneQSites, twoQSites)
 			for {
 				c := int(nextChunk.Add(1) - 1)
 				if c >= numChunks || cancelled.Load() {
@@ -274,6 +365,7 @@ func Simulate(ctx context.Context, mo Model, w Witness, run Run) (*Estimate, err
 	est := &Estimate{
 		Shots:      run.Shots,
 		Seed:       run.Seed,
+		Engine:     engine,
 		Fidelity:   mean,
 		StdErr:     stderr,
 		CILow:      clamp01(mean - 1.96*stderr),
@@ -291,20 +383,31 @@ func Simulate(ctx context.Context, mo Model, w Witness, run Run) (*Estimate, err
 	return est, nil
 }
 
-// shotSim is one worker's reusable trajectory state.
+// shotSim is one worker's reusable trajectory state. Exactly one replay
+// engine is armed: dense (ideal + scratch state vectors) or stabilizer (the
+// shared read-only final tableau + a worker-private Pauli frame).
 type shotSim struct {
 	mo        Model
 	w         Witness
-	ideal     *sim.State
 	oneQSites []int
 	twoQSites []int
-	scratch   *sim.State
 	events    []event
+
+	ideal   *sim.State
+	scratch *sim.State
+
+	tab   *stab.Tableau
+	frame *stab.Frame
 }
 
-func newShotSim(mo Model, w Witness, ideal *sim.State, oneQ, twoQ []int) *shotSim {
-	return &shotSim{mo: mo, w: w, ideal: ideal, oneQSites: oneQ, twoQSites: twoQ,
-		scratch: sim.NewState(w.NSlots)}
+func newShotSim(mo Model, w Witness, ideal *sim.State, tab *stab.Tableau, oneQ, twoQ []int) *shotSim {
+	s := &shotSim{mo: mo, w: w, ideal: ideal, tab: tab, oneQSites: oneQ, twoQSites: twoQ}
+	if tab != nil {
+		s.frame = tab.NewFrame()
+	} else {
+		s.scratch = sim.MustNew(w.NSlots)
+	}
+	return s
 }
 
 // run executes one trajectory and folds its outcome into pt.
@@ -400,10 +503,64 @@ func (s *shotSim) placeEvent(r *rng, c *Channel) event {
 
 var pauliOps = [4]circuit.Op{0, circuit.OpX, circuit.OpY, circuit.OpZ}
 
-// replay re-executes the witness with the shot's events injected and returns
-// the overlap with the ideal output.
+// replay scores one errored trajectory: the overlap of the execution with
+// the shot's events injected against the ideal output.
 func (s *shotSim) replay() float64 {
 	sort.Slice(s.events, func(i, j int) bool { return s.events[i].pos < s.events[j].pos })
+	if s.tab != nil {
+		return s.replayStab()
+	}
+	return s.replayDense()
+}
+
+// replayStab propagates the sampled Pauli errors as a Pauli frame through
+// the witness suffix and syndrome-checks the frame against the final
+// tableau's stabilizers: for a Clifford trajectory the overlap is exactly 1
+// when the accumulated error commutes with every stabilizer and 0 otherwise.
+func (s *shotSim) replayStab() float64 {
+	f := s.frame
+	f.Reset()
+	ei := 0
+	// Gates before the first event act on an identity frame — skip them.
+	for gi := s.events[0].pos; gi <= len(s.w.Gates); gi++ {
+		for ei < len(s.events) && s.events[ei].pos == gi {
+			s.injectEvent(&s.events[ei])
+			ei++
+		}
+		if gi < len(s.w.Gates) {
+			f.Conjugate(s.w.Gates[gi])
+		}
+	}
+	if s.tab.Disturbs(f) {
+		return 0
+	}
+	return 1
+}
+
+// injectEvent multiplies one sampled error into the Pauli frame.
+func (s *shotSim) injectEvent(e *event) {
+	inject := func(q, p int) {
+		switch p {
+		case 1:
+			s.frame.InjectX(q)
+		case 2:
+			s.frame.InjectY(q)
+		case 3:
+			s.frame.InjectZ(q)
+		}
+	}
+	switch e.kind {
+	case Pauli2Q:
+		inject(e.q0, e.pauli&3)
+		inject(e.q1, e.pauli>>2)
+	default: // Pauli1Q, Dephase
+		inject(e.q0, e.pauli&3)
+	}
+}
+
+// replayDense re-executes the witness in the dense simulator with the
+// shot's events injected and returns the overlap with the ideal output.
+func (s *shotSim) replayDense() float64 {
 	st := s.scratch
 	for i := range st.Amp {
 		st.Amp[i] = 0

@@ -113,9 +113,9 @@ func TestRoundTripSemantics(t *testing.T) {
 			t.Fatalf("round trip changed shape: %d/%d -> %d/%d",
 				c.N, c.NumGates(), back.N, back.NumGates())
 		}
-		a := sim.NewState(n)
+		a := sim.MustNew(n)
 		a.Run(c)
-		b := sim.NewState(n)
+		b := sim.MustNew(n)
 		b.Run(back)
 		if f := sim.Fidelity(a, b); f < 1-1e-9 {
 			t.Fatalf("round trip broke semantics: fidelity %v", f)

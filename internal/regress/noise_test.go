@@ -7,6 +7,7 @@ import (
 
 	"atomique/internal/bench"
 	"atomique/internal/compiler"
+	"atomique/internal/noise"
 
 	_ "atomique/internal/compiler/backends" // register the built-in backends
 )
@@ -32,6 +33,10 @@ const noiseValidationShots = 3000
 //   - the mean trajectory overlap is never below survival (errors can be
 //     invisible, never negative), with the gap bounding the analytic
 //     model's pessimism.
+//
+// Clifford entries at paper-scale widths (64-256 qubits) ride the same
+// battery through the stabilizer engine — far beyond the dense wall — and
+// additionally assert the automatic dispatch picked it.
 func TestNoiseValidationRegressCorpus(t *testing.T) {
 	backends := compiler.List()
 	if len(backends) < 6 {
@@ -47,45 +52,61 @@ func TestNoiseValidationRegressCorpus(t *testing.T) {
 			small = append(small, e)
 		}
 	}
+	wide := []corpusEntry{
+		{name: "gen-ghz-64", circ: bench.GHZ(64)},
+		{name: "gen-bv-64", circ: bench.BV(64, 16, goldenSeed)},
+		{name: "gen-teleport-65", circ: bench.TeleportChain(65)},
+		{name: "gen-ghz-256", circ: bench.GHZ(256)},
+	}
+	validate := func(t *testing.T, b compiler.Backend, e corpusEntry, wantEngine string) {
+		t.Helper()
+		opts := compiler.Options{Seed: goldenSeed, NoisyShots: noiseValidationShots, NoiseSeed: 13}
+		res, err := b.Compile(context.Background(), compiler.Target{}, e.circ, opts)
+		if err != nil {
+			t.Fatalf("%s: compile: %v", e.name, err)
+		}
+		if err := compiler.AttachNoise(context.Background(), compiler.Target{}, res, opts); err != nil {
+			t.Fatalf("%s: %v", e.name, err)
+		}
+		est := res.Noise
+		if est == nil {
+			t.Fatalf("%s: no noise estimate attached", e.name)
+		}
+		if wantEngine != "" && est.Engine != wantEngine {
+			t.Errorf("%s: trajectory engine %q, want %q", e.name, est.Engine, wantEngine)
+		}
+
+		if analytic := res.Metrics.FidelityTotal(); analytic > 0 {
+			if d := math.Abs(est.Analytic-analytic) / analytic; d > 1e-9 {
+				t.Errorf("%s: model closed form %v != reported analytic fidelity %v (rel diff %v)",
+					e.name, est.Analytic, analytic, d)
+			}
+		}
+
+		tol := 4*est.SurvivalSigma() + 1e-9
+		if d := math.Abs(est.Survival - est.Analytic); d > tol {
+			t.Errorf("%s: trajectory survival %v vs analytic %v: |diff| %v exceeds the 4-sigma tolerance %v",
+				e.name, est.Survival, est.Analytic, d, tol)
+		}
+
+		if est.Fidelity < est.Survival-1e-12 {
+			t.Errorf("%s: mean overlap %v below survival %v — errored trajectories scored impossibly low",
+				e.name, est.Fidelity, est.Survival)
+		}
+		if est.CILow > est.Fidelity || est.CIHigh < est.Fidelity {
+			t.Errorf("%s: CI [%v, %v] does not bracket the mean %v",
+				e.name, est.CILow, est.CIHigh, est.Fidelity)
+		}
+	}
 	for _, b := range backends {
 		b := b
 		t.Run(b.Name(), func(t *testing.T) {
 			t.Parallel()
 			for _, e := range small {
-				opts := compiler.Options{Seed: goldenSeed, NoisyShots: noiseValidationShots, NoiseSeed: 13}
-				res, err := b.Compile(context.Background(), compiler.Target{}, e.circ, opts)
-				if err != nil {
-					t.Fatalf("%s: compile: %v", e.name, err)
-				}
-				if err := compiler.AttachNoise(context.Background(), compiler.Target{}, res, opts); err != nil {
-					t.Fatalf("%s: %v", e.name, err)
-				}
-				est := res.Noise
-				if est == nil {
-					t.Fatalf("%s: no noise estimate attached", e.name)
-				}
-
-				if analytic := res.Metrics.FidelityTotal(); analytic > 0 {
-					if d := math.Abs(est.Analytic-analytic) / analytic; d > 1e-9 {
-						t.Errorf("%s: model closed form %v != reported analytic fidelity %v (rel diff %v)",
-							e.name, est.Analytic, analytic, d)
-					}
-				}
-
-				tol := 4*est.SurvivalSigma() + 1e-9
-				if d := math.Abs(est.Survival - est.Analytic); d > tol {
-					t.Errorf("%s: trajectory survival %v vs analytic %v: |diff| %v exceeds the 4-sigma tolerance %v",
-						e.name, est.Survival, est.Analytic, d, tol)
-				}
-
-				if est.Fidelity < est.Survival-1e-12 {
-					t.Errorf("%s: mean overlap %v below survival %v — errored trajectories scored impossibly low",
-						e.name, est.Fidelity, est.Survival)
-				}
-				if est.CILow > est.Fidelity || est.CIHigh < est.Fidelity {
-					t.Errorf("%s: CI [%v, %v] does not bracket the mean %v",
-						e.name, est.CILow, est.CIHigh, est.Fidelity)
-				}
+				validate(t, b, e, "")
+			}
+			for _, e := range wide {
+				validate(t, b, e, noise.EngineStab)
 			}
 		})
 	}

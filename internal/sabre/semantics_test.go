@@ -39,12 +39,12 @@ func checkEquivalence(t *testing.T, c *circuit.Circuit, cg *graphs.Coupling, opt
 	r := Route(c, cg, opts)
 
 	// Source semantics on logical qubits.
-	src := sim.NewState(c.N)
+	src := sim.MustNew(c.N)
 	src.Run(c)
 	// Routed semantics on device qubits: logical q starts at
 	// InitialMapping[q] and ends at FinalMapping[q].
-	dev := sim.NewState(cg.N)
-	devInit := sim.NewState(c.N).Embed(cg.N, r.InitialMapping)
+	dev := sim.MustNew(cg.N)
+	devInit := sim.MustNew(c.N).Embed(cg.N, r.InitialMapping)
 	copy(dev.Amp, devInit.Amp)
 	dev.Run(r.Routed)
 
@@ -100,10 +100,10 @@ func TestRoutingSemanticsProperty(t *testing.T) {
 		c := randomMixedCircuit(rng, n, 5+rng.Intn(40))
 		r := Route(c, cg, Options{Seed: seed})
 
-		src := sim.NewState(c.N)
+		src := sim.MustNew(c.N)
 		src.Run(c)
-		dev := sim.NewState(cg.N)
-		init := sim.NewState(c.N).Embed(cg.N, r.InitialMapping)
+		dev := sim.MustNew(cg.N)
+		init := sim.MustNew(c.N).Embed(cg.N, r.InitialMapping)
 		copy(dev.Amp, init.Amp)
 		dev.Run(r.Routed)
 		expected := src.Embed(cg.N, r.FinalMapping)

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"strings"
 	"testing"
@@ -71,6 +72,7 @@ func TestNoiseOptionsInCacheKey(t *testing.T) {
 		"noiseSeed":  {QASM: ghzQASM, Seed: 7, Shots: 500, NoiseSeed: 1},
 		"noiseScale": {QASM: ghzQASM, Seed: 7, Shots: 500, NoiseScale: 2},
 		"noise2Q":    {QASM: ghzQASM, Seed: 7, Shots: 500, Noise2Q: 0.1},
+		"engine":     {QASM: ghzQASM, Seed: 7, Shots: 500, Engine: noise.EngineDense},
 	} {
 		if j := compile(req); j.Cached {
 			t.Errorf("request differing only in %s aliased the cached noisy entry", name)
@@ -98,11 +100,78 @@ func TestNoiseRequestValidation(t *testing.T) {
 		"negative-prob":     {QASM: ghzQASM, Shots: 10, Noise1Q: -0.1},
 		"too-wide-circuit":  {Benchmark: "QV-32", Shots: 10},
 		"too-wide-ancillas": {Benchmark: "QSim-rand-20", Backend: "qpilot", Shots: 10},
+		"bogus-engine":      {QASM: ghzQASM, Shots: 10, Engine: "statevector"},
+		"orphan-engine":     {QASM: ghzQASM, Engine: noise.EngineStab},
+		"stab-non-clifford": {Benchmark: "QSim-rand-20", Shots: 10, Engine: noise.EngineStab},
+		"dense-too-wide":    {Benchmark: "QV-32", Shots: 10, Engine: noise.EngineDense},
 	} {
 		if _, err := e.Compile(context.Background(), req); err == nil {
 			t.Errorf("%s: accepted", name)
 		} else if _, ok := err.(*RequestError); !ok {
 			t.Errorf("%s: err = %v, want *RequestError", name, err)
+		}
+	}
+}
+
+// wideGHZQASM builds an n-qubit GHZ chain in OpenQASM — Clifford, so the
+// service must route its trajectory shots to the stabilizer engine at widths
+// the dense engine rejects outright.
+func wideGHZQASM(n int) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[%d];\nh q[0];\n", n)
+	for i := 1; i < n; i++ {
+		fmt.Fprintf(&sb, "cx q[%d],q[%d];\n", i-1, i)
+	}
+	return sb.String()
+}
+
+// TestSimulateEngineDispatch pins the engine plumbing end to end through the
+// service: the chosen engine is surfaced in the envelope's noise estimate,
+// an explicit engine=dense is honoured, and a 96-qubit Clifford circuit —
+// four times past the dense wall — simulates successfully via the stabilizer
+// engine on every registered backend's default target.
+func TestSimulateEngineDispatch(t *testing.T) {
+	e := New(Config{Workers: 2})
+	defer e.Close()
+	ctx := context.Background()
+
+	estimate := func(req Request) *noise.Estimate {
+		t.Helper()
+		j, err := e.Compile(ctx, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if j.State != StateDone {
+			t.Fatalf("job state %s: %s", j.State, j.Error)
+		}
+		var env report.Envelope
+		if err := json.Unmarshal(j.Result, &env); err != nil {
+			t.Fatal(err)
+		}
+		if env.Noise == nil {
+			t.Fatal("no noise estimate in envelope")
+		}
+		return env.Noise
+	}
+
+	// Auto on a small Clifford circuit: stabilizer engine, surfaced.
+	if est := estimate(Request{QASM: ghzQASM, Seed: 7, Shots: 200}); est.Engine != noise.EngineStab {
+		t.Errorf("auto engine on Clifford circuit = %q, want %q", est.Engine, noise.EngineStab)
+	}
+	// Pinning dense is honoured at the same width.
+	if est := estimate(Request{QASM: ghzQASM, Seed: 7, Shots: 200, Engine: noise.EngineDense}); est.Engine != noise.EngineDense {
+		t.Errorf("pinned dense engine = %q, want %q", est.Engine, noise.EngineDense)
+	}
+
+	// 96 qubits: beyond dense for every backend, fine for the tableau.
+	wide := wideGHZQASM(96)
+	for _, name := range compiler.Names() {
+		est := estimate(Request{QASM: wide, Backend: name, Seed: 7, Shots: 300})
+		if est.Engine != noise.EngineStab {
+			t.Errorf("backend %s: wide Clifford engine = %q, want %q", name, est.Engine, noise.EngineStab)
+		}
+		if est.Fidelity <= 0 || est.Fidelity > 1 {
+			t.Errorf("backend %s: implausible wide fidelity %v", name, est.Fidelity)
 		}
 	}
 }

@@ -189,6 +189,12 @@ type Request struct {
 	Shots int `json:"shots,omitempty"`
 	// NoiseSeed seeds trajectory sampling, independently of Seed.
 	NoiseSeed int64 `json:"noiseSeed,omitempty"`
+	// Engine pins the trajectory simulation engine ("auto", "dense",
+	// "stab"; empty = auto). Auto dispatches Clifford circuits to the
+	// stabilizer engine — which lifts the dense width cap to
+	// noise.MaxStabQubits — and everything else to the dense
+	// state-vector.
+	Engine string `json:"engine,omitempty"`
 	// NoiseScale multiplies every noise-channel probability (0 = 1.0).
 	NoiseScale float64 `json:"noiseScale,omitempty"`
 	// Noise1Q / Noise2Q override the hardware-derived per-gate error
@@ -574,22 +580,42 @@ func (e *Engine) resolve(req Request) (task, error) {
 	if req.NoiseScale < 0 || req.Noise1Q < 0 || req.Noise1Q > 1 || req.Noise2Q < 0 || req.Noise2Q > 1 {
 		return task{}, &RequestError{Msg: "noiseScale must be non-negative and noise1Q/noise2Q must be probabilities in [0,1]"}
 	}
-	if req.Shots == 0 && (req.NoiseSeed != 0 || req.NoiseScale != 0 || req.Noise1Q != 0 || req.Noise2Q != 0) {
-		return task{}, &RequestError{Msg: "noise options (noiseSeed, noiseScale, noise1Q, noise2Q) need shots > 0"}
+	if !noise.ValidEngine(req.Engine) {
+		return task{}, &RequestError{Msg: fmt.Sprintf("unknown engine %q (valid: %q, %q, %q, or empty for auto)",
+			req.Engine, noise.EngineAuto, noise.EngineDense, noise.EngineStab)}
 	}
-	// A witness wider than the dense trajectory replay's register cap is
+	if req.Shots == 0 && (req.NoiseSeed != 0 || req.NoiseScale != 0 || req.Noise1Q != 0 || req.Noise2Q != 0 || req.Engine != "") {
+		return task{}, &RequestError{Msg: "noise options (noiseSeed, noiseScale, noise1Q, noise2Q, engine) need shots > 0"}
+	}
+	// A witness wider than the selected trajectory engine's register cap is
 	// guaranteed to fail after the compile — reject it up front instead of
 	// burning a worker on it. WitnessWidth accounts for declared ancilla
-	// overhead (Q-Pilot's flying ancillas).
-	if w := be.Capabilities().WitnessWidth(circ.N); req.Shots > 0 && w > noise.MaxQubits {
-		return task{}, &RequestError{
-			Msg: fmt.Sprintf("noisy simulation handles witnesses up to %d qubits; backend %q compiles this %d-qubit circuit to a %d-slot witness",
-				noise.MaxQubits, be.Name(), circ.N, w)}
+	// overhead (Q-Pilot's flying ancillas). Clifford circuits reach the
+	// stabilizer engine (unless the request pins engine=dense), so they are
+	// capped at noise.MaxStabQubits instead of the dense wall; backends
+	// preserve Cliffordness, which the conformance suite enforces.
+	if req.Shots > 0 {
+		w := be.Capabilities().WitnessWidth(circ.N)
+		stabEligible := circ.IsClifford() && req.Engine != noise.EngineDense
+		if req.Engine == noise.EngineStab && !circ.IsClifford() {
+			return task{}, &RequestError{
+				Msg: fmt.Sprintf("engine %q needs a Clifford circuit; this circuit has non-Clifford gates (use engine=dense or auto)", noise.EngineStab)}
+		}
+		if stabEligible && w > noise.MaxStabQubits {
+			return task{}, &RequestError{
+				Msg: fmt.Sprintf("stabilizer simulation handles witnesses up to %d qubits; backend %q compiles this %d-qubit circuit to a %d-slot witness",
+					noise.MaxStabQubits, be.Name(), circ.N, w)}
+		}
+		if !stabEligible && w > noise.MaxQubits {
+			return task{}, &RequestError{
+				Msg: fmt.Sprintf("dense noisy simulation handles witnesses up to %d qubits; backend %q compiles this %d-qubit circuit to a %d-slot witness (Clifford circuits dispatch to the stabilizer engine, up to %d qubits)",
+					noise.MaxQubits, be.Name(), circ.N, w, noise.MaxStabQubits)}
+		}
 	}
 	opts := compiler.Options{Seed: req.Seed, SerialRouter: req.Serial, DenseMapper: req.Dense,
 		Exact: req.Exact, BudgetSeconds: req.Budget,
 		NoisyShots: req.Shots, NoiseSeed: req.NoiseSeed, NoiseScale: req.NoiseScale,
-		Noise1Q: req.Noise1Q, Noise2Q: req.Noise2Q}
+		Noise1Q: req.Noise1Q, Noise2Q: req.Noise2Q, Engine: req.Engine}
 	if err := opts.ApplyRelax(req.Relax); err != nil {
 		return task{}, &RequestError{Msg: err.Error()}
 	}

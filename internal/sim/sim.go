@@ -21,13 +21,45 @@ type State struct {
 	Amp []complex128
 }
 
-// NewState returns |0...0> over n qubits.
-func NewState(n int) *State {
-	if n < 0 || n > 24 {
-		panic(fmt.Sprintf("sim: unsupported qubit count %d", n))
+// MaxQubits is the widest register the dense simulator will allocate: 2^24
+// amplitudes (256 MiB). Wider Clifford workloads belong to internal/stab.
+const MaxQubits = 24
+
+// TooWideError reports a register beyond the dense simulator's reach. It is
+// a returned (not panicked) condition so dispatchers and the compile service
+// can degrade gracefully — fall back to the stabilizer engine, or answer the
+// client with a 400 instead of crashing a worker.
+type TooWideError struct {
+	N   int // requested qubit count
+	Max int // the dense limit (MaxQubits)
+}
+
+func (e *TooWideError) Error() string {
+	return fmt.Sprintf("sim: %d qubits exceeds the dense simulator's %d-qubit limit", e.N, e.Max)
+}
+
+// NewState returns |0...0> over n qubits, or a *TooWideError when the dense
+// representation would exceed MaxQubits.
+func NewState(n int) (*State, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("sim: negative qubit count %d", n)
+	}
+	if n > MaxQubits {
+		return nil, &TooWideError{N: n, Max: MaxQubits}
 	}
 	s := &State{N: n, Amp: make([]complex128, 1<<uint(n))}
 	s.Amp[0] = 1
+	return s, nil
+}
+
+// MustNew is NewState for callers that have already validated the width
+// (tests, and hot loops behind a width-checked entry point); it panics on a
+// width the dense simulator cannot hold.
+func MustNew(n int) *State {
+	s, err := NewState(n)
+	if err != nil {
+		panic(err)
+	}
 	return s
 }
 
@@ -192,7 +224,7 @@ func (s *State) Embed(n int, mapping []int) *State {
 	if len(mapping) != s.N {
 		panic("sim: mapping size mismatch")
 	}
-	out := NewState(n)
+	out := MustNew(n)
 	for i := range out.Amp {
 		out.Amp[i] = 0
 	}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"errors"
 	"math"
 	"math/cmplx"
 	"math/rand"
@@ -16,7 +17,7 @@ func TestBellState(t *testing.T) {
 	c := circuit.New(2)
 	c.H(0)
 	c.CX(0, 1)
-	s := NewState(2)
+	s := MustNew(2)
 	s.Run(c)
 	inv := 1 / math.Sqrt2
 	if cmplx.Abs(s.Amp[0]-complex(inv, 0)) > eps ||
@@ -100,7 +101,7 @@ func randomProductState(n int, rng *rand.Rand) *State {
 		c.RY(q, rng.Float64()*math.Pi)
 		c.RZ(q, rng.Float64()*2*math.Pi)
 	}
-	s := NewState(n)
+	s := MustNew(n)
 	s.Run(c)
 	return s
 }
@@ -161,7 +162,7 @@ func TestCXEqualsHCZH(t *testing.T) {
 
 func TestPermute(t *testing.T) {
 	// |01> (qubit0=1) permuted by {0->1,1->0} becomes |10>.
-	s := NewState(2)
+	s := MustNew(2)
 	s.Amp[0], s.Amp[1] = 0, 1 // basis index 1 = qubit0 set
 	p := s.Permute([]int{1, 0})
 	if cmplx.Abs(p.Amp[2]-1) > eps {
@@ -170,7 +171,7 @@ func TestPermute(t *testing.T) {
 }
 
 func TestEmbed(t *testing.T) {
-	s := NewState(1)
+	s := MustNew(1)
 	s.Amp[0], s.Amp[1] = 0, 1 // |1>
 	e := s.Embed(3, []int{2})
 	if cmplx.Abs(e.Amp[4]-1) > eps {
@@ -240,12 +241,24 @@ func pick2(n int, rng *rand.Rand) (int, int) {
 }
 
 func TestStateGuards(t *testing.T) {
-	mustPanic(t, func() { NewState(-1) })
-	mustPanic(t, func() { NewState(30) })
-	s := NewState(1)
+	if _, err := NewState(-1); err == nil {
+		t.Error("NewState(-1) accepted")
+	}
+	// Too-wide registers are a structured, returned error — the dispatcher
+	// and the compile service turn this into a fallback or a 400.
+	_, err := NewState(30)
+	var tw *TooWideError
+	if !errors.As(err, &tw) {
+		t.Fatalf("NewState(30): err = %v, want *TooWideError", err)
+	}
+	if tw.N != 30 || tw.Max != MaxQubits {
+		t.Errorf("TooWideError = %+v, want N=30 Max=%d", tw, MaxQubits)
+	}
+	mustPanic(t, func() { MustNew(30) })
+	s := MustNew(1)
 	mustPanic(t, func() { s.Run(circuit.New(3)) })
 	mustPanic(t, func() { s.Permute([]int{0, 1}) })
-	t2 := NewState(2)
+	t2 := MustNew(2)
 	mustPanic(t, func() { Fidelity(s, t2) })
 }
 
