@@ -7,7 +7,7 @@
 //
 //	atomique -bench QAOA-regu5-40 [-backend atomique] [-slm 10] [-aods 2]
 //	         [-aodsize 10] [-serial] [-dense] [-relax 1,2,3] [-schedule]
-//	         [-seed 7] [-noisy] [-shots 5000]
+//	         [-seed 7] [-noisy] [-shots 5000] [-sample] [-shotoffset 0]
 //	atomique -backend sabre -family triangular -bench QV-32
 //	atomique -backend zoned -bench QV-32 [-zstorage 12] [-zsites 6] [-zgap 80]
 //	atomique -list          # benchmarks
@@ -56,6 +56,8 @@ func main() {
 		budget       = flag.Float64("budget", 0, "solver backends: compile budget in seconds (0 = default)")
 		noisy        = flag.Bool("noisy", false, "run Monte-Carlo trajectory noise estimation after compiling")
 		shots        = flag.Int("shots", 0, "noisy-simulation trajectory count (implies -noisy; 0 with -noisy = 2000)")
+		sample       = flag.Bool("sample", false, "sample measurement bitstrings instead of estimating fidelity (histogram over -shots, default 4096)")
+		shotOffset   = flag.Int64("shotoffset", 0, "global index of the first sampled shot (-sample shard/resume support)")
 		noiseSeed    = flag.Int64("noiseseed", 0, "noisy-simulation sampling seed")
 		noiseScale   = flag.Float64("noisescale", 0, "multiply every noise-channel probability (0 = 1.0)")
 		traceFlag    = flag.Bool("trace", false, "record a span trace of the compilation and print the tree")
@@ -228,13 +230,25 @@ func main() {
 	if noisyShots == 0 && *noisy {
 		noisyShots = 2000
 	}
+	if noisyShots == 0 && *sample {
+		noisyShots = 4096
+	}
 	if noisyShots == 0 && (*noiseSeed != 0 || *noiseScale != 0) {
-		fmt.Fprintln(os.Stderr, "atomique: -noiseseed/-noisescale need -noisy or -shots")
+		fmt.Fprintln(os.Stderr, "atomique: -noiseseed/-noisescale need -noisy, -sample, or -shots")
+		os.Exit(1)
+	}
+	if *shotOffset != 0 && !*sample {
+		fmt.Fprintln(os.Stderr, "atomique: -shotoffset needs -sample")
+		os.Exit(1)
+	}
+	if *shotOffset < 0 {
+		fmt.Fprintln(os.Stderr, "atomique: -shotoffset must be non-negative")
 		os.Exit(1)
 	}
 	opts := compiler.Options{Seed: *seed, SerialRouter: *serial, DenseMapper: *dense,
 		Exact: *exact, BudgetSeconds: *budget,
-		NoisyShots: noisyShots, NoiseSeed: *noiseSeed, NoiseScale: *noiseScale}
+		NoisyShots: noisyShots, NoiseSeed: *noiseSeed, NoiseScale: *noiseScale,
+		SampleBits: *sample, ShotOffset: *shotOffset}
 	if err := opts.ApplyRelax(*relax); err != nil {
 		fmt.Fprintf(os.Stderr, "atomique: bad -relax flag: %v\n", err)
 		os.Exit(1)
@@ -320,6 +334,37 @@ func main() {
 		labels := fidelity.Labels()
 		for i, v := range m.Fidelity.NegLog() {
 			fmt.Printf("  -log10 %-18s %.4g\n", labels[i], v)
+		}
+	}
+	if sr := res.Sample; sr != nil {
+		fmt.Printf("sampled          shots [%d, %d) on engine=%s: %d distinct outcomes, %d error shots, %d atoms lost\n",
+			sr.Offset, sr.Offset+int64(sr.Shots), sr.Engine, sr.Distinct, sr.ErrorShots, sr.LostShots)
+		// Histogram, most frequent first, capped so wide registers stay
+		// readable; ties broken by bitstring for a stable listing.
+		type kv struct {
+			bits  string
+			count int64
+		}
+		hist := make([]kv, 0, len(sr.Counts))
+		for b, c := range sr.Counts {
+			hist = append(hist, kv{b, c})
+		}
+		sort.Slice(hist, func(i, j int) bool {
+			if hist[i].count != hist[j].count {
+				return hist[i].count > hist[j].count
+			}
+			return hist[i].bits < hist[j].bits
+		})
+		const maxRows = 16
+		shown := hist
+		if len(shown) > maxRows {
+			shown = shown[:maxRows]
+		}
+		for _, h := range shown {
+			fmt.Printf("  %s  %6d  %.4f\n", h.bits, h.count, float64(h.count)/float64(sr.Shots))
+		}
+		if rest := len(hist) - len(shown); rest > 0 {
+			fmt.Printf("  (+%d more outcomes)\n", rest)
 		}
 	}
 	if est := res.Noise; est != nil {

@@ -50,6 +50,16 @@ type benchRecord struct {
 	// workers) — BenchmarkStabTrajectory. The dense engine cannot run this
 	// workload at all.
 	StabShotsPerSecond float64 `json:"stabShotsPerSecond,omitempty"`
+
+	// SampleShotsPerSecond is measurement-sampling throughput (noise.Sample,
+	// default workers) per workload: the dense engine on the 12-qubit QAOA
+	// witness and the stabilizer affine-subspace sampler on 64- and
+	// 128-qubit GHZ witnesses.
+	SampleShotsPerSecond map[string]float64 `json:"sampleShotsPerSecond,omitempty"`
+	// SampleStabVsDenseSpeedup is stab GHZ-64 sampled-shot throughput over
+	// the dense workload's — the Clifford fast path's win on the sampling
+	// product specifically.
+	SampleStabVsDenseSpeedup float64 `json:"sampleStabVsDenseSpeedup,omitempty"`
 }
 
 // bestOf returns the minimum wall time of n runs of fn — the same
@@ -186,6 +196,48 @@ func runBenchRecord(path string, baseline float64) error {
 	}
 	rec.StabShotsPerSecond = float64(shots) / sec
 	fmt.Printf("stab ghz-%d    %.0f shots/s\n", stabWidth, rec.StabShotsPerSecond)
+
+	// Measurement-sampling throughput (the /v1/sample hot path): the dense
+	// CDF sampler on the 12-qubit QAOA witness vs the stabilizer
+	// affine-subspace sampler on GHZ witnesses far past the dense wall.
+	rec.SampleShotsPerSecond = make(map[string]float64)
+	sampleRate := func(label string, mo noise.Model, sw noise.Witness) (float64, error) {
+		sec, err := bestOf(3, func() error {
+			_, err := noise.Sample(context.Background(), mo, sw,
+				noise.SampleRun{Shots: shots, Seed: 1})
+			return err
+		})
+		if err != nil {
+			return 0, fmt.Errorf("sample %s: %w", label, err)
+		}
+		rate := float64(shots) / sec
+		rec.SampleShotsPerSecond[label] = rate
+		fmt.Printf("sample %-12s %.0f shots/s\n", label, rate)
+		return rate, nil
+	}
+	denseRate, err := sampleRate("dense-qaoa-12", model, w)
+	if err != nil {
+		return err
+	}
+	var stab64Rate float64
+	for _, n := range []int{64, 128} {
+		g := bench.GHZ(n)
+		mo := noise.Model{Channels: []noise.Channel{
+			{Label: "1q-gate", Kind: noise.Pauli1Q, Trials: 1, Prob: 2e-3},
+			{Label: "2q-gate", Kind: noise.Pauli2Q, Trials: n - 1, Prob: 5e-3},
+			{Label: "decoherence", Kind: noise.Dephase, Trials: n, Prob: 1e-3},
+			{Label: "transfer", Kind: noise.Loss, Trials: n, Prob: 2e-4},
+		}}
+		rate, err := sampleRate(fmt.Sprintf("stab-ghz-%d", n), mo, noise.Witness{NSlots: n, Gates: g.Gates})
+		if err != nil {
+			return err
+		}
+		if n == 64 {
+			stab64Rate = rate
+		}
+	}
+	rec.SampleStabVsDenseSpeedup = stab64Rate / denseRate
+	fmt.Printf("sample stab-ghz-64 vs dense: %.1fx\n", rec.SampleStabVsDenseSpeedup)
 
 	js, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {

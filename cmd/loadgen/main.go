@@ -7,8 +7,13 @@
 // Usage:
 //
 //	loadgen -addr http://127.0.0.1:8791 [-duration 30s] [-rps 20]
-//	        [-batch-rps 5] [-burst 10] [-burst-start 10s] [-burst-len 10s]
+//	        [-batch-rps 5] [-sample-rps 0] [-sample-shots 20000]
+//	        [-burst 10] [-burst-start 10s] [-burst-len 10s]
 //	        [-benchmark H2-4] [-timeout 30s]
+//
+// -sample-rps mixes in POST /v1/sample jobs (batch priority, -sample-shots
+// measurement shots each) — the sampling-product workout: trajectory
+// sampling throughput under the same admission control as everything else.
 //
 // Every request carries a unique seed so the content-addressed result cache
 // never absorbs the load. Per-class p50/p90/p99 latency, shed counts, and
@@ -63,6 +68,8 @@ func main() {
 		duration   = flag.Duration("duration", 30*time.Second, "total run length")
 		rps        = flag.Float64("rps", 20, "baseline interactive arrivals per second")
 		batchRPS   = flag.Float64("batch-rps", 5, "baseline batch arrivals per second")
+		sampleRPS  = flag.Float64("sample-rps", 0, "baseline /v1/sample arrivals per second (0 = no sampling traffic)")
+		sampleN    = flag.Int("sample-shots", 20000, "measurement shots per sampling request")
 		burst      = flag.Float64("burst", 10, "rate multiplier during the burst window (1 = no burst)")
 		burstStart = flag.Duration("burst-start", 10*time.Second, "burst window start offset")
 		burstLen   = flag.Duration("burst-len", 10*time.Second, "burst window length")
@@ -80,13 +87,25 @@ func main() {
 
 	fire := func(class string) {
 		defer inflight.Done()
-		body, _ := json.Marshal(map[string]any{
+		// Sampling jobs vary the noise seed instead of the compile seed: each
+		// request is a fresh trajectory run (cache miss on the sampling work)
+		// over the one cached compilation — the realistic shape of a sharded
+		// million-shot job.
+		endpoint, payload := "/v1/compile", map[string]any{
 			"benchmark": *benchmark,
 			"seed":      seed.Add(1),
 			"priority":  class,
-		})
+		}
+		if class == "sample" {
+			endpoint, payload = "/v1/sample", map[string]any{
+				"benchmark": *benchmark,
+				"noiseSeed": seed.Add(1),
+				"shots":     *sampleN,
+			}
+		}
+		body, _ := json.Marshal(payload)
 		t0 := time.Now()
-		resp, err := client.Post(*addr+"/v1/compile", "application/json", bytes.NewReader(body))
+		resp, err := client.Post(*addr+endpoint, "application/json", bytes.NewReader(body))
 		if err != nil {
 			results <- result{class: class}
 			return
@@ -156,12 +175,13 @@ func main() {
 	}()
 
 	genDone := make(chan struct{})
-	inflight.Add(2)
+	inflight.Add(3)
 	go generate("interactive", *rps, genDone)
 	go generate("batch", *batchRPS, genDone)
+	go generate("sample", *sampleRPS, genDone)
 
 	collected := make(map[string]*classSummary)
-	for _, c := range []string{"interactive", "batch"} {
+	for _, c := range []string{"interactive", "batch", "sample"} {
 		collected[c] = &classSummary{}
 	}
 	collectorDone := make(chan struct{})
@@ -195,8 +215,11 @@ func main() {
 	close(sampleDone)
 
 	exit := 0
-	for _, class := range []string{"interactive", "batch"} {
+	for _, class := range []string{"interactive", "batch", "sample"} {
 		s := collected[class]
+		if class == "sample" && s.sent == 0 {
+			continue
+		}
 		sort.Slice(s.latencies, func(i, j int) bool { return s.latencies[i] < s.latencies[j] })
 		fmt.Printf("%-12s sent=%d ok=%d shed=%d failed=%d transport=%d p50=%s p90=%s p99=%s\n",
 			class, s.sent, s.ok, s.shed, s.failed, s.transport,

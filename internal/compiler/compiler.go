@@ -130,6 +130,17 @@ type Options struct {
 	// Part of the cache key, so runs pinned to different engines never
 	// alias.
 	Engine string `json:"engine,omitempty"`
+	// SampleBits switches the trajectory run from fidelity estimation to
+	// measurement sampling: NoisyShots trajectories are measured in the
+	// computational basis and the histogram rides in Result.Sample (the
+	// /v1/sample product). Participates in the cache key, so sampled and
+	// estimated runs never alias.
+	SampleBits bool `json:"sampleBits,omitempty"`
+	// ShotOffset is the global index of the first sampled shot. Per-shot RNG
+	// streams derive from (NoiseSeed, global index), so disjoint shot ranges
+	// tile into one histogram — sharded and resumable sampling. Each range
+	// is its own cache entry.
+	ShotOffset int64 `json:"shotOffset,omitempty"`
 	// NoiseScale multiplies every noise-channel probability (0 = 1.0), for
 	// sensitivity probing.
 	NoiseScale float64 `json:"noiseScale,omitempty"`
@@ -252,6 +263,9 @@ type Result struct {
 	// Noise is the empirical fidelity estimate from Monte-Carlo trajectory
 	// simulation, populated by AttachNoise when Options.NoisyShots > 0.
 	Noise *noise.Estimate `json:"noise,omitempty"`
+	// Sample is the measurement histogram from sampling trajectories,
+	// populated instead of Noise when Options.SampleBits is set.
+	Sample *noise.SampleResult `json:"sample,omitempty"`
 	// Program is the compiled execution witness the differential
 	// verification replays (nil only when TimedOut). Never serialized.
 	Program *Program `json:"-"`

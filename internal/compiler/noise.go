@@ -22,30 +22,66 @@ const MaxNoisyShots = 1 << 20
 // service, the CLI, the experiment tables — call this rather than every
 // backend reimplementing it.
 func AttachNoise(ctx context.Context, tgt Target, res *Result, opts Options) error {
-	if opts.NoisyShots == 0 || res == nil || res.TimedOut {
-		return nil
+	if opts.SampleBits {
+		return AttachSample(ctx, tgt, res, opts, nil)
 	}
-	if opts.NoisyShots < 0 || opts.NoisyShots > MaxNoisyShots {
-		return fmt.Errorf("compiler: noisy shots must be in 1..%d, got %d", MaxNoisyShots, opts.NoisyShots)
-	}
-	if res.Program == nil {
-		return fmt.Errorf("compiler: backend %q produced no execution witness to simulate noisily", res.Backend)
-	}
-	p, err := noiseParams(tgt, res.Metrics.NQubits)
-	if err != nil {
+	model, w, err := noiseSetup(tgt, res, opts)
+	if err != nil || res == nil || res.TimedOut || opts.NoisyShots == 0 {
 		return err
 	}
-	model := noise.Build(p, res.Metrics).
-		WithGateProbs(opts.Noise1Q, opts.Noise2Q).
-		Scaled(opts.NoiseScale)
-	est, err := noise.Simulate(ctx, model,
-		noise.Witness{NSlots: res.Program.NSlots, Gates: res.Program.Gates},
+	est, err := noise.Simulate(ctx, model, w,
 		noise.Run{Shots: opts.NoisyShots, Seed: opts.NoiseSeed, Engine: opts.Engine})
 	if err != nil {
 		return fmt.Errorf("%s: %w", res.Backend, err)
 	}
 	res.Noise = est
 	return nil
+}
+
+// AttachSample runs the measurement-sampling trajectories for a completed
+// compilation, populating Result.Sample with the histogram over
+// Options.NoisyShots shots starting at Options.ShotOffset. emit, when
+// non-nil, streams every shot record in global shot order (the /v1/sample
+// chunked-HTTP path); an emit error aborts the run.
+func AttachSample(ctx context.Context, tgt Target, res *Result, opts Options, emit func([]noise.ShotRecord) error) error {
+	model, w, err := noiseSetup(tgt, res, opts)
+	if err != nil || res == nil || res.TimedOut || opts.NoisyShots == 0 {
+		return err
+	}
+	sr, err := noise.Sample(ctx, model, w, noise.SampleRun{
+		Shots:  opts.NoisyShots,
+		Offset: opts.ShotOffset,
+		Seed:   opts.NoiseSeed,
+		Engine: opts.Engine,
+		Emit:   emit,
+	})
+	if err != nil {
+		return fmt.Errorf("%s: %w", res.Backend, err)
+	}
+	res.Sample = sr
+	return nil
+}
+
+// noiseSetup validates the trajectory request and derives the noise model
+// and execution witness shared by estimation and sampling.
+func noiseSetup(tgt Target, res *Result, opts Options) (noise.Model, noise.Witness, error) {
+	if opts.NoisyShots == 0 || res == nil || res.TimedOut {
+		return noise.Model{}, noise.Witness{}, nil
+	}
+	if opts.NoisyShots < 0 || opts.NoisyShots > MaxNoisyShots {
+		return noise.Model{}, noise.Witness{}, fmt.Errorf("compiler: noisy shots must be in 1..%d, got %d", MaxNoisyShots, opts.NoisyShots)
+	}
+	if res.Program == nil {
+		return noise.Model{}, noise.Witness{}, fmt.Errorf("compiler: backend %q produced no execution witness to simulate noisily", res.Backend)
+	}
+	p, err := noiseParams(tgt, res.Metrics.NQubits)
+	if err != nil {
+		return noise.Model{}, noise.Witness{}, err
+	}
+	model := noise.Build(p, res.Metrics).
+		WithGateProbs(opts.Noise1Q, opts.Noise2Q).
+		Scaled(opts.NoiseScale)
+	return model, noise.Witness{NSlots: res.Program.NSlots, Gates: res.Program.Gates}, nil
 }
 
 // noiseParams resolves the physical parameters the noise model derives its

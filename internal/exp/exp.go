@@ -51,6 +51,7 @@ func All() []Experiment {
 		{"zoned", "Zoned vs flat FPQA comparison (ZAP-style scenario)", ZonedVsFlat},
 		{"noise", "Noise-model validation: empirical trajectory vs analytic fidelity", NoiseValidation},
 		{"qec", "QEC: surface-code cycles on the zoned backend via the stabilizer engine", SurfaceCode},
+		{"sampling", "Sampling: measurement histograms across trajectory engines, sharded + merged", Sampling},
 	}
 }
 

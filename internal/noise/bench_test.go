@@ -88,3 +88,54 @@ func BenchmarkStabTrajectory(b *testing.B) {
 	}
 	b.ReportMetric(float64(shots*b.N)/b.Elapsed().Seconds(), "shots/s")
 }
+
+// BenchmarkSample measures measurement-sampling throughput (the /v1/sample
+// hot path) on both engines: the dense CDF sampler over a 12-qubit QAOA
+// witness and the stabilizer affine-subspace sampler over a 128-qubit GHZ
+// witness. CI runs it as a smoke test (-benchtime=1x); BENCH_NNNN.json
+// records the same workloads via cmd/experiments -bench-record.
+func BenchmarkSample(b *testing.B) {
+	const shots = 16384
+	run := func(b *testing.B, model noise.Model, w noise.Witness, engine string) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sr, err := noise.Sample(context.Background(), model, w,
+				noise.SampleRun{Shots: shots, Seed: int64(i)})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if sr.Engine != engine {
+				b.Fatalf("engine %q, want %s", sr.Engine, engine)
+			}
+		}
+		b.ReportMetric(float64(shots*b.N)/b.Elapsed().Seconds(), "shots/s")
+	}
+
+	b.Run("dense-qaoa-12", func(b *testing.B) {
+		be, ok := compiler.Lookup("atomique")
+		if !ok {
+			b.Fatal("atomique backend not registered")
+		}
+		circ := bench.QAOARegular(12, 3, 15)
+		res, err := be.Compile(context.Background(), compiler.Target{}, circ, compiler.Options{Seed: 7})
+		if err != nil {
+			b.Fatal(err)
+		}
+		model := noise.Build(hardware.NeutralAtom(), res.Metrics)
+		w := noise.Witness{NSlots: res.Program.NSlots, Gates: res.Program.Gates}
+		run(b, model, w, noise.EngineDense)
+	})
+
+	b.Run("stab-ghz-128", func(b *testing.B) {
+		const n = 128
+		circ := bench.GHZ(n)
+		w := noise.Witness{NSlots: n, Gates: circ.Gates}
+		model := noise.Model{Channels: []noise.Channel{
+			{Label: "1q-gate", Kind: noise.Pauli1Q, Trials: 1, Prob: 2e-3},
+			{Label: "2q-gate", Kind: noise.Pauli2Q, Trials: n - 1, Prob: 5e-3},
+			{Label: "decoherence", Kind: noise.Dephase, Trials: n, Prob: 1e-3},
+			{Label: "transfer", Kind: noise.Loss, Trials: n, Prob: 2e-4},
+		}}
+		run(b, model, w, noise.EngineStab)
+	})
+}

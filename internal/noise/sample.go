@@ -1,0 +1,433 @@
+package noise
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"atomique/internal/obs"
+	"atomique/internal/sim"
+	"atomique/internal/stab"
+)
+
+// MaxSampleKeys caps the distinct bitstrings one sampling run will aggregate.
+// Beyond it the histogram stops being a useful (or cacheable) summary — the
+// run fails with advice to narrow the shot range or stream per-shot records.
+const MaxSampleKeys = 1 << 16
+
+// MaxShotIndex bounds Offset+Shots: global shot indices stay well inside the
+// int64 range the per-shot RNG derivation mixes over.
+const MaxShotIndex = int64(1) << 40
+
+// ShotRecord is one shot's outcome in a streamed sample. Bits is the
+// measurement bitstring — character i is slot i's outcome, slot 0 leftmost —
+// and is empty for shots destroyed by atom loss.
+type ShotRecord struct {
+	Shot int64  `json:"shot"`
+	Bits string `json:"bits,omitempty"`
+	Lost bool   `json:"lost,omitempty"`
+}
+
+// SampleRun configures one sampling run — a trajectory run that keeps the
+// measured bitstrings instead of discarding them.
+type SampleRun struct {
+	// Shots is the trajectory count of this request (required, > 0).
+	Shots int
+	// Offset is the global index of the first shot. Shot i of this run draws
+	// from the RNG stream of global shot Offset+i, so disjoint shot ranges of
+	// the same seed tile into exactly the histogram a single full-range run
+	// produces — sampling jobs shard across workers and resume across
+	// requests.
+	Offset int64
+	// Seed drives every random draw, exactly as in Run.
+	Seed int64
+	// Workers is the parallel shot-executor count (0 = GOMAXPROCS).
+	Workers int
+	// Engine selects the replay engine, as in Run.
+	Engine string
+	// Emit, when non-nil, receives every shot outcome in global shot order,
+	// batched by chunk. An error return aborts the run. Emit is called from
+	// the Sample goroutine, never concurrently.
+	Emit func(batch []ShotRecord) error
+}
+
+// SampleResult is the aggregated outcome of a sampling run. Like Estimate it
+// is deterministic per (model, witness, seed, shot range, engine) regardless
+// of worker count, which is what makes shard results cacheable and mergeable.
+type SampleResult struct {
+	Shots  int    `json:"shots"`
+	Offset int64  `json:"offset"`
+	Seed   int64  `json:"seed"`
+	Engine string `json:"engine"`
+	NSlots int    `json:"nSlots"`
+	// Counts is the histogram: bitstring (character i = slot i's outcome,
+	// slot 0 leftmost) → occurrences. Lost shots carry no bitstring, so the
+	// counts total Shots - LostShots.
+	Counts   map[string]int64 `json:"counts"`
+	Distinct int              `json:"distinct"`
+	// Survived/LostShots/ErrorShots tally exactly as in Estimate: the event
+	// stream per shot is identical to Simulate's, sampling draws append
+	// after it.
+	Survived   int `json:"survived"`
+	LostShots  int `json:"lostShots"`
+	ErrorShots int `json:"errorShots"`
+}
+
+// samplePartial is one chunk's outcome buffer.
+type samplePartial struct {
+	counts                  map[string]*int64
+	records                 []ShotRecord
+	survived, lost, errored int
+	done                    chan struct{}
+}
+
+// Sample runs the Monte-Carlo sampling trajectories: Shots independent
+// replays of the witness under the model's sampled error events, each
+// measured in the computational basis.
+//
+// Per shot, the event stream is drawn exactly as Simulate draws it (the
+// measurement draws append after it), so Survived/LostShots/ErrorShots agree
+// with the Estimate of the same (seed, range). Error-free shots sample the
+// ideal output directly — a CDF binary search on the dense engine, an
+// affine-subspace draw (stab.Sampler) on the stabilizer engine. Errored
+// dense shots replay and sample the errored state; errored stab shots XOR
+// the shot's Pauli-frame X bits into the ideal draw, since X^aZ^b|ψ⟩ has
+// |⟨z|X^aZ^b|ψ⟩|² = |⟨z⊕a|ψ⟩|². Lost shots produce no bitstring.
+func Sample(ctx context.Context, mo Model, w Witness, run SampleRun) (*SampleResult, error) {
+	if run.Shots <= 0 {
+		return nil, fmt.Errorf("noise: shots must be positive, got %d", run.Shots)
+	}
+	if run.Offset < 0 {
+		return nil, fmt.Errorf("noise: shot offset must be non-negative, got %d", run.Offset)
+	}
+	if run.Offset > MaxShotIndex-int64(run.Shots) {
+		return nil, fmt.Errorf("noise: shot range [%d, %d) exceeds the global index cap 2^40", run.Offset, run.Offset+int64(run.Shots))
+	}
+	if !ValidEngine(run.Engine) {
+		return nil, fmt.Errorf("noise: unknown engine %q (want %s, %s, or %s)", run.Engine, EngineAuto, EngineDense, EngineStab)
+	}
+	if w.NSlots <= 0 {
+		return nil, fmt.Errorf("noise: witness register %d slots wide; want at least 1", w.NSlots)
+	}
+	engine := ResolveEngine(run.Engine, w)
+	switch {
+	case engine == EngineDense && w.NSlots > MaxQubits:
+		return nil, fmt.Errorf("noise: witness register %d slots wide; the dense trajectory engine handles 1..%d (Clifford witnesses dispatch to engine=stab)", w.NSlots, MaxQubits)
+	case engine == EngineStab && w.NSlots > MaxStabQubits:
+		return nil, fmt.Errorf("noise: witness register %d slots wide; the stabilizer trajectory engine handles 1..%d", w.NSlots, MaxStabQubits)
+	}
+	for i, g := range w.Gates {
+		if g.Q0 < 0 || g.Q0 >= w.NSlots || (g.IsTwoQubit() && (g.Q1 < 0 || g.Q1 >= w.NSlots)) {
+			return nil, fmt.Errorf("noise: witness gate %d (%v) addresses a slot outside [0,%d)", i, g, w.NSlots)
+		}
+	}
+	workers := run.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	parent := obs.SpanFromContext(ctx)
+	replaySpan := parent.StartChild("witness.replay")
+	var ideal *sim.State
+	var denseSampler *sim.Sampler
+	var tab *stab.Tableau
+	var stabSampler *stab.Sampler
+	var ct *conjTable
+	switch engine {
+	case EngineStab:
+		t, err := stab.New(w.NSlots)
+		if err != nil {
+			return nil, fmt.Errorf("noise: %w", err)
+		}
+		if err := t.Run(w.Gates); err != nil {
+			return nil, fmt.Errorf("noise: engine=%s: %w", EngineStab, err)
+		}
+		s, err := t.NewSampler()
+		if err != nil {
+			return nil, fmt.Errorf("noise: %w", err)
+		}
+		tab, stabSampler = t, s
+		ct = newConjTable(w)
+	default:
+		st, err := sim.NewState(w.NSlots)
+		if err != nil {
+			return nil, fmt.Errorf("noise: %w", err)
+		}
+		for _, g := range w.Gates {
+			st.Apply(g)
+		}
+		ideal = st
+		denseSampler = sim.NewSampler(st)
+	}
+	if replaySpan != nil {
+		replaySpan.SetAttr("slots", strconv.Itoa(w.NSlots))
+		replaySpan.SetAttr("gates", strconv.Itoa(len(w.Gates)))
+		replaySpan.SetAttr("engine", engine)
+		replaySpan.End()
+	}
+
+	var oneQSites, twoQSites []int
+	for i, g := range w.Gates {
+		if g.IsTwoQubit() {
+			twoQSites = append(twoQSites, i)
+		} else {
+			oneQSites = append(oneQSites, i)
+		}
+	}
+
+	numChunks := (run.Shots + chunkShots - 1) / chunkShots
+	sampleSpan := parent.StartChild("noise.sample")
+	if sampleSpan != nil {
+		sampleSpan.SetAttr("shots", strconv.Itoa(run.Shots))
+		sampleSpan.SetAttr("offset", strconv.FormatInt(run.Offset, 10))
+		sampleSpan.SetAttr("chunks", strconv.Itoa(numChunks))
+		sampleSpan.SetAttr("workers", strconv.Itoa(workers))
+		sampleSpan.SetAttr("engine", engine)
+		sampleSpan.SetAttr("stream", strconv.FormatBool(run.Emit != nil))
+	}
+	partials := make([]samplePartial, numChunks)
+	for i := range partials {
+		partials[i].done = make(chan struct{})
+	}
+	var nextChunk atomic.Int64
+	var cancelled atomic.Bool
+	var wg sync.WaitGroup
+	// When streaming, bound worker look-ahead past the emit cursor so
+	// buffered shot records stay O(workers·chunk) however slow the consumer:
+	// a worker surrenders a ticket per chunk it claims, the emitter returns
+	// one per chunk it flushes.
+	var tickets chan struct{}
+	stop := make(chan struct{})
+	if run.Emit != nil {
+		tickets = make(chan struct{}, workers*4)
+		for i := 0; i < cap(tickets); i++ {
+			tickets <- struct{}{}
+		}
+	}
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sh := newShotSim(mo, w, ideal, tab, ct, oneQSites, twoQSites)
+			sh.denseSampler = denseSampler
+			sh.stabSampler = stabSampler
+			sh.outBuf = make([]uint64, (w.NSlots+63)/64)
+			sh.keyBuf = make([]byte, w.NSlots)
+			for {
+				if tickets != nil {
+					select {
+					case <-tickets:
+					case <-stop:
+						return
+					}
+				}
+				c := int(nextChunk.Add(1) - 1)
+				if c >= numChunks || cancelled.Load() {
+					return
+				}
+				if ctx.Err() != nil {
+					cancelled.Store(true)
+					return
+				}
+				sp := &partials[c]
+				sp.counts = make(map[string]*int64)
+				lo := c * chunkShots
+				hi := lo + chunkShots
+				if hi > run.Shots {
+					hi = run.Shots
+				}
+				chunkStart := time.Now()
+				for shot := lo; shot < hi; shot++ {
+					g := run.Offset + int64(shot)
+					lost, errored := sh.runSample(run.Seed, g)
+					switch {
+					case lost:
+						sp.lost++
+						sp.errored++
+					case errored:
+						sp.errored++
+					default:
+						sp.survived++
+					}
+					var bitsStr string
+					if !lost {
+						// Alloc-free lookup on the hot path; the key string
+						// materialises once per distinct outcome.
+						if p, ok := sp.counts[string(sh.keyBuf)]; ok {
+							*p++
+						} else {
+							bitsStr = string(sh.keyBuf)
+							one := int64(1)
+							sp.counts[bitsStr] = &one
+						}
+					}
+					if run.Emit != nil {
+						if bitsStr == "" && !lost {
+							bitsStr = string(sh.keyBuf)
+						}
+						sp.records = append(sp.records, ShotRecord{Shot: g, Bits: bitsStr, Lost: lost})
+					}
+				}
+				close(sp.done)
+				if sampleSpan != nil {
+					if cs := sampleSpan.Record("chunk", chunkStart, time.Since(chunkStart)); cs != nil {
+						cs.SetAttr("shots", fmt.Sprintf("%d..%d", run.Offset+int64(lo), run.Offset+int64(hi-1)))
+					}
+				}
+			}
+		}()
+	}
+	workersDone := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(workersDone)
+	}()
+
+	var emitErr error
+	if run.Emit != nil {
+	emitLoop:
+		for c := 0; c < numChunks; c++ {
+			select {
+			case <-partials[c].done:
+			case <-workersDone:
+				select {
+				case <-partials[c].done:
+				default:
+					break emitLoop // run aborted before chunk c computed
+				}
+			}
+			if err := run.Emit(partials[c].records); err != nil {
+				cancelled.Store(true)
+				emitErr = err
+				break emitLoop
+			}
+			tickets <- struct{}{}
+		}
+		close(stop)
+	}
+	<-workersDone
+	sampleSpan.End()
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("noise: sampling cancelled: %w", err)
+	}
+	if emitErr != nil {
+		return nil, fmt.Errorf("noise: shot stream aborted: %w", emitErr)
+	}
+
+	// Deterministic reduction in chunk order (map content is order-free, the
+	// tallies reduce like Simulate's).
+	res := &SampleResult{
+		Shots:  run.Shots,
+		Offset: run.Offset,
+		Seed:   run.Seed,
+		Engine: engine,
+		NSlots: w.NSlots,
+		Counts: make(map[string]int64),
+	}
+	for i := range partials {
+		p := &partials[i]
+		res.Survived += p.survived
+		res.LostShots += p.lost
+		res.ErrorShots += p.errored
+		for k, v := range p.counts {
+			res.Counts[k] += *v
+		}
+		if len(res.Counts) > MaxSampleKeys {
+			return nil, fmt.Errorf("noise: histogram exceeds %d distinct outcomes; narrow the shot range or stream per-shot records", MaxSampleKeys)
+		}
+	}
+	res.Distinct = len(res.Counts)
+	return res, nil
+}
+
+// runSample executes one trajectory and leaves its rendered bitstring in
+// s.keyBuf (unless the shot was lost). The event-sampling draws match
+// shotSim.run exactly; measurement draws consume the stream after them.
+func (s *shotSim) runSample(seed, shot int64) (lost, errored bool) {
+	r := shotRNG(seed, shot)
+	s.events = s.events[:0]
+	for ci := range s.mo.Channels {
+		c := &s.mo.Channels[ci]
+		if s.sampleChannel(&r, c) > 0 && c.Kind == Loss {
+			lost = true
+		}
+	}
+	errored = lost || len(s.events) > 0
+	if lost {
+		return
+	}
+	if s.tab != nil {
+		s.stabSampler.Shot(s.outBuf, r.next)
+		if len(s.events) > 0 {
+			f := s.stabFrame()
+			for w := range s.outBuf {
+				s.outBuf[w] ^= f.X[w]
+			}
+		}
+		for q := 0; q < s.w.NSlots; q++ {
+			s.keyBuf[q] = '0' + byte(s.outBuf[q>>6]>>uint(q&63)&1)
+		}
+		return
+	}
+	var idx int
+	if len(s.events) == 0 {
+		idx = s.denseSampler.Draw(r.open01())
+	} else {
+		sort.Slice(s.events, func(i, j int) bool { return s.events[i].pos < s.events[j].pos })
+		s.replayDenseState()
+		idx = sim.SampleState(s.scratch, r.open01())
+	}
+	for q := 0; q < s.w.NSlots; q++ {
+		s.keyBuf[q] = '0' + byte(idx>>uint(q)&1)
+	}
+	return
+}
+
+// MergeSamples combines shard results from disjoint shot ranges of the same
+// sampling job. When the shards tile a contiguous range, the merged histogram
+// is bit-for-bit the single-request histogram over that range — per-shot RNG
+// streams depend only on (seed, global shot index).
+func MergeSamples(parts ...*SampleResult) (*SampleResult, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("noise: nothing to merge")
+	}
+	sorted := make([]*SampleResult, len(parts))
+	copy(sorted, parts)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Offset < sorted[j].Offset })
+	first := sorted[0]
+	out := &SampleResult{
+		Offset: first.Offset,
+		Seed:   first.Seed,
+		Engine: first.Engine,
+		NSlots: first.NSlots,
+		Counts: make(map[string]int64),
+	}
+	prevEnd := first.Offset
+	for _, p := range sorted {
+		if p.Seed != first.Seed || p.Engine != first.Engine || p.NSlots != first.NSlots {
+			return nil, fmt.Errorf("noise: shards disagree on (seed, engine, slots): (%d,%s,%d) vs (%d,%s,%d)",
+				first.Seed, first.Engine, first.NSlots, p.Seed, p.Engine, p.NSlots)
+		}
+		if p.Offset < prevEnd {
+			return nil, fmt.Errorf("noise: shard ranges overlap at shot %d", p.Offset)
+		}
+		prevEnd = p.Offset + int64(p.Shots)
+		out.Shots += p.Shots
+		out.Survived += p.Survived
+		out.LostShots += p.LostShots
+		out.ErrorShots += p.ErrorShots
+		for k, v := range p.Counts {
+			out.Counts[k] += v
+		}
+		if len(out.Counts) > MaxSampleKeys {
+			return nil, fmt.Errorf("noise: merged histogram exceeds %d distinct outcomes", MaxSampleKeys)
+		}
+	}
+	out.Distinct = len(out.Counts)
+	return out, nil
+}

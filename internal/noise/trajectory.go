@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"math/bits"
 	"runtime"
 	"sort"
 	"strconv"
@@ -140,7 +141,7 @@ func mix64(z uint64) uint64 {
 // would make shot i+1's stream a one-draw shift of shot i's, correlating
 // adjacent shots and invalidating the i.i.d. assumption behind the
 // confidence intervals.
-func shotRNG(seed int64, shot int) rng {
+func shotRNG(seed int64, shot int64) rng {
 	return rng{s: mix64(uint64(seed) ^ mix64(uint64(shot)+0x632be59bd9b4e019))}
 }
 
@@ -154,14 +155,29 @@ func (r *rng) open01() float64 {
 	return (float64(r.next()>>11) + 1) / (1 << 53)
 }
 
+// intn returns a uniform int in [0, n) by Lemire's multiply-shift rejection
+// sampling — exactly unbiased, one multiply in the common case. The old
+// next()%n was biased by < n/2^64: invisible in survival statistics, but
+// product-visible now that sampled bitstrings ship to clients. Rejection
+// draws an extra word with probability < n/2^64, and event placement feeds no
+// golden (survival and event tallies depend only on the open01 stream, which
+// is untouched), so no regress entries needed re-goldening.
 func (r *rng) intn(n int) int {
-	// The modulo bias is < n/2^64 — irrelevant at trajectory statistics.
-	return int(r.next() % uint64(n))
+	un := uint64(n)
+	hi, lo := bits.Mul64(r.next(), un)
+	if lo < un {
+		thresh := -un % un
+		for lo < thresh {
+			hi, lo = bits.Mul64(r.next(), un)
+		}
+	}
+	return int(hi)
 }
 
 // event is one sampled error, applied after pos gates of the stream.
 type event struct {
 	pos    int
+	site   int // gate index the event is attached to, or -1 when free-floating
 	kind   Kind
 	q0, q1 int
 	pauli  int // 1..3 for 1Q (X,Y,Z); 1..15 encoding a Pauli pair for 2Q
@@ -248,6 +264,7 @@ func Simulate(ctx context.Context, mo Model, w Witness, run Run) (*Estimate, err
 	replaySpan := parent.StartChild("witness.replay")
 	var ideal *sim.State
 	var tab *stab.Tableau
+	var ct *conjTable
 	switch engine {
 	case EngineStab:
 		t, err := stab.New(w.NSlots)
@@ -258,6 +275,7 @@ func Simulate(ctx context.Context, mo Model, w Witness, run Run) (*Estimate, err
 			return nil, fmt.Errorf("noise: engine=%s: %w", EngineStab, err)
 		}
 		tab = t
+		ct = newConjTable(w)
 	default:
 		st, err := sim.NewState(w.NSlots)
 		if err != nil {
@@ -302,7 +320,7 @@ func Simulate(ctx context.Context, mo Model, w Witness, run Run) (*Estimate, err
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			sh := newShotSim(mo, w, ideal, tab, oneQSites, twoQSites)
+			sh := newShotSim(mo, w, ideal, tab, ct, oneQSites, twoQSites)
 			for {
 				c := int(nextChunk.Add(1) - 1)
 				if c >= numChunks || cancelled.Load() {
@@ -321,7 +339,7 @@ func Simulate(ctx context.Context, mo Model, w Witness, run Run) (*Estimate, err
 				}
 				chunkStart := time.Now()
 				for shot := lo; shot < hi; shot++ {
-					sh.run(run.Seed, shot, pt)
+					sh.run(run.Seed, int64(shot), pt)
 				}
 				if trajSpan != nil {
 					if cs := trajSpan.Record("chunk", chunkStart, time.Since(chunkStart)); cs != nil {
@@ -398,10 +416,17 @@ type shotSim struct {
 
 	tab   *stab.Tableau
 	frame *stab.Frame
+	ct    *conjTable
+
+	// sampling-mode extras (nil/empty for plain Simulate)
+	denseSampler *sim.Sampler
+	stabSampler  *stab.Sampler
+	outBuf       []uint64 // qubit-packed outcome scratch (stab)
+	keyBuf       []byte   // rendered bitstring scratch, one byte per slot
 }
 
-func newShotSim(mo Model, w Witness, ideal *sim.State, tab *stab.Tableau, oneQ, twoQ []int) *shotSim {
-	s := &shotSim{mo: mo, w: w, ideal: ideal, tab: tab, oneQSites: oneQ, twoQSites: twoQ}
+func newShotSim(mo Model, w Witness, ideal *sim.State, tab *stab.Tableau, ct *conjTable, oneQ, twoQ []int) *shotSim {
+	s := &shotSim{mo: mo, w: w, ideal: ideal, tab: tab, ct: ct, oneQSites: oneQ, twoQSites: twoQ}
 	if tab != nil {
 		s.frame = tab.NewFrame()
 	} else {
@@ -411,7 +436,7 @@ func newShotSim(mo Model, w Witness, ideal *sim.State, tab *stab.Tableau, oneQ, 
 }
 
 // run executes one trajectory and folds its outcome into pt.
-func (s *shotSim) run(seed int64, shot int, pt *partial) {
+func (s *shotSim) run(seed int64, shot int64, pt *partial) {
 	r := shotRNG(seed, shot)
 	s.events = s.events[:0]
 	lost := false
@@ -479,25 +504,25 @@ func (s *shotSim) placeEvent(r *rng, c *Channel) event {
 	case Pauli1Q:
 		if len(s.oneQSites) > 0 {
 			gi := s.oneQSites[r.intn(len(s.oneQSites))]
-			return event{pos: gi + 1, kind: Pauli1Q, q0: s.w.Gates[gi].Q0, pauli: 1 + r.intn(3)}
+			return event{pos: gi + 1, site: gi, kind: Pauli1Q, q0: s.w.Gates[gi].Q0, pauli: 1 + r.intn(3)}
 		}
 		// The analytic model counted 1Q gates the witness does not carry
 		// individually; fall back to a random qubit at a random point.
-		return event{pos: r.intn(len(s.w.Gates) + 1), kind: Pauli1Q, q0: r.intn(s.w.NSlots), pauli: 1 + r.intn(3)}
+		return event{pos: r.intn(len(s.w.Gates) + 1), site: -1, kind: Pauli1Q, q0: r.intn(s.w.NSlots), pauli: 1 + r.intn(3)}
 	case Pauli2Q:
 		if len(s.twoQSites) > 0 {
 			gi := s.twoQSites[r.intn(len(s.twoQSites))]
 			g := s.w.Gates[gi]
-			return event{pos: gi + 1, kind: Pauli2Q, q0: g.Q0, q1: g.Q1, pauli: 1 + r.intn(15)}
+			return event{pos: gi + 1, site: gi, kind: Pauli2Q, q0: g.Q0, q1: g.Q1, pauli: 1 + r.intn(15)}
 		}
 		q0 := r.intn(s.w.NSlots)
 		q1 := q0
 		if s.w.NSlots > 1 {
 			q1 = (q0 + 1 + r.intn(s.w.NSlots-1)) % s.w.NSlots
 		}
-		return event{pos: r.intn(len(s.w.Gates) + 1), kind: Pauli2Q, q0: q0, q1: q1, pauli: 1 + r.intn(15)}
+		return event{pos: r.intn(len(s.w.Gates) + 1), site: -1, kind: Pauli2Q, q0: q0, q1: q1, pauli: 1 + r.intn(15)}
 	default: // Dephase
-		return event{pos: r.intn(len(s.w.Gates) + 1), kind: Dephase, q0: r.intn(s.w.NSlots), pauli: 3}
+		return event{pos: r.intn(len(s.w.Gates) + 1), site: -1, kind: Dephase, q0: r.intn(s.w.NSlots), pauli: 3}
 	}
 }
 
@@ -506,18 +531,41 @@ var pauliOps = [4]circuit.Op{0, circuit.OpX, circuit.OpY, circuit.OpZ}
 // replay scores one errored trajectory: the overlap of the execution with
 // the shot's events injected against the ideal output.
 func (s *shotSim) replay() float64 {
-	sort.Slice(s.events, func(i, j int) bool { return s.events[i].pos < s.events[j].pos })
 	if s.tab != nil {
 		return s.replayStab()
 	}
+	sort.Slice(s.events, func(i, j int) bool { return s.events[i].pos < s.events[j].pos })
 	return s.replayDense()
 }
 
-// replayStab propagates the sampled Pauli errors as a Pauli frame through
-// the witness suffix and syndrome-checks the frame against the final
-// tableau's stabilizers: for a Clifford trajectory the overlap is exactly 1
-// when the accumulated error commutes with every stabilizer and 0 otherwise.
+// replayStab accumulates the shot's end-of-circuit Pauli frame and
+// syndrome-checks it against the final tableau's stabilizers: for a Clifford
+// trajectory the overlap is exactly 1 when the accumulated error commutes
+// with every stabilizer and 0 otherwise. Each event contributes its
+// precomputed conjugation image (see conjTable), so the replay is O(events)
+// — event order is irrelevant, XOR commutes.
 func (s *shotSim) replayStab() float64 {
+	if s.tab.Disturbs(s.stabFrame()) {
+		return 0
+	}
+	return 1
+}
+
+// stabFrame rebuilds the shot's end-of-circuit Pauli frame from its events.
+func (s *shotSim) stabFrame() *stab.Frame {
+	f := s.frame
+	f.Reset()
+	for i := range s.events {
+		s.ct.accumulate(f, &s.events[i])
+	}
+	return f
+}
+
+// replayStabNaive is the pre-table reference implementation — the frame
+// conjugated gate by gate through the witness suffix. Kept for the
+// differential test pinning conjTable to it bit for bit.
+func (s *shotSim) replayStabNaive() float64 {
+	sort.Slice(s.events, func(i, j int) bool { return s.events[i].pos < s.events[j].pos })
 	f := s.frame
 	f.Reset()
 	ei := 0
@@ -561,6 +609,13 @@ func (s *shotSim) injectEvent(e *event) {
 // replayDense re-executes the witness in the dense simulator with the
 // shot's events injected and returns the overlap with the ideal output.
 func (s *shotSim) replayDense() float64 {
+	s.replayDenseState()
+	return sim.Fidelity(s.scratch, s.ideal)
+}
+
+// replayDenseState re-executes the witness with the shot's events injected
+// (events sorted by pos), leaving the errored final state in s.scratch.
+func (s *shotSim) replayDenseState() {
 	st := s.scratch
 	for i := range st.Amp {
 		st.Amp[i] = 0
@@ -578,7 +633,6 @@ func (s *shotSim) replayDense() float64 {
 		st.Apply(g)
 		apply(gi + 1)
 	}
-	return sim.Fidelity(st, s.ideal)
 }
 
 func (s *shotSim) applyEvent(st *sim.State, e *event) {

@@ -33,6 +33,11 @@ type Envelope struct {
 	// deterministic per (circuit, options, seed), like every other envelope
 	// field, so noisy results cache content-addressed too.
 	Noise *noise.Estimate `json:"noise,omitempty"`
+	// Sample is the measurement histogram from sampling trajectories,
+	// present when the request asked for sampled bitstrings (/v1/sample).
+	// Deterministic per (circuit, options, seed, shot range) like Noise, so
+	// shard results cache content-addressed and merge client-side.
+	Sample *noise.SampleResult `json:"sample,omitempty"`
 	// FidelityTotal is the product of all fidelity factors.
 	FidelityTotal float64 `json:"fidelityTotal"`
 	// ErrorBreakdown maps every fidelity factor (including Transfer, which

@@ -59,6 +59,7 @@ const DefaultSimulateShots = 1024
 //
 //	POST   /v1/compile           compile one request (?async=1 to enqueue only)
 //	POST   /v1/simulate          compile + Monte-Carlo noisy-shot simulation
+//	POST   /v1/sample            compile + measurement sampling (?stream=1 for NDJSON shots)
 //	POST   /v1/compile/batch     compile many requests concurrently
 //	GET    /v1/jobs/{id}         job status and result
 //	DELETE /v1/jobs/{id}         cancel a queued/running job
@@ -78,6 +79,7 @@ func (e *Engine) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/compile", e.handleCompile)
 	mux.HandleFunc("POST /v1/simulate", e.handleSimulate)
+	mux.HandleFunc("POST /v1/sample", e.handleSample)
 	mux.HandleFunc("POST /v1/compile/batch", e.handleBatch)
 	mux.HandleFunc("GET /v1/jobs/{id}", e.handleJobGet)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", e.handleJobCancel)

@@ -195,6 +195,17 @@ type Request struct {
 	// noise.MaxStabQubits — and everything else to the dense
 	// state-vector.
 	Engine string `json:"engine,omitempty"`
+	// Sample switches the trajectory run from fidelity estimation to
+	// measurement sampling (the /v1/sample product): each shot's
+	// computational-basis bitstring is recorded and the histogram rides in
+	// the envelope's "sample" field instead of a fidelity estimate in
+	// "noise". Needs shots > 0.
+	Sample bool `json:"sample,omitempty"`
+	// ShotOffset is the global index of the first sampled shot (sampling
+	// only). Per-shot randomness derives from (noiseSeed, global index), so
+	// disjoint shot ranges from separate requests tile into one histogram —
+	// sharded, resumable sampling. Each range is its own cache entry.
+	ShotOffset int64 `json:"shotOffset,omitempty"`
 	// NoiseScale multiplies every noise-channel probability (0 = 1.0).
 	NoiseScale float64 `json:"noiseScale,omitempty"`
 	// Noise1Q / Noise2Q override the hardware-derived per-gate error
@@ -251,6 +262,10 @@ type task struct {
 	target  compiler.Target
 	circ    *circuit.Circuit
 	opts    compiler.Options
+	// emit, when set, streams sampled shot records as they are produced
+	// (the /v1/sample?stream=1 path). Streaming outcomes bypass the result
+	// cache: the records only exist on the live connection.
+	emit func([]noise.ShotRecord) error
 }
 
 // job is the internal record behind a Job snapshot.
@@ -587,6 +602,19 @@ func (e *Engine) resolve(req Request) (task, error) {
 	if req.Shots == 0 && (req.NoiseSeed != 0 || req.NoiseScale != 0 || req.Noise1Q != 0 || req.Noise2Q != 0 || req.Engine != "") {
 		return task{}, &RequestError{Msg: "noise options (noiseSeed, noiseScale, noise1Q, noise2Q, engine) need shots > 0"}
 	}
+	if req.Sample && req.Shots == 0 {
+		return task{}, &RequestError{Msg: "sample needs shots > 0"}
+	}
+	if req.ShotOffset != 0 && !req.Sample {
+		return task{}, &RequestError{Msg: "shotOffset applies to sampling only (set sample=true or use POST /v1/sample)"}
+	}
+	if req.ShotOffset < 0 {
+		return task{}, &RequestError{Msg: "shotOffset must be non-negative"}
+	}
+	if req.Sample && req.ShotOffset+int64(req.Shots) > noise.MaxShotIndex {
+		return task{}, &RequestError{Msg: fmt.Sprintf("shot range [%d, %d) exceeds the global shot-index cap %d",
+			req.ShotOffset, req.ShotOffset+int64(req.Shots), noise.MaxShotIndex)}
+	}
 	// A witness wider than the selected trajectory engine's register cap is
 	// guaranteed to fail after the compile — reject it up front instead of
 	// burning a worker on it. WitnessWidth accounts for declared ancilla
@@ -594,6 +622,7 @@ func (e *Engine) resolve(req Request) (task, error) {
 	// stabilizer engine (unless the request pins engine=dense), so they are
 	// capped at noise.MaxStabQubits instead of the dense wall; backends
 	// preserve Cliffordness, which the conformance suite enforces.
+	engine := req.Engine
 	if req.Shots > 0 {
 		w := be.Capabilities().WitnessWidth(circ.N)
 		stabEligible := circ.IsClifford() && req.Engine != noise.EngineDense
@@ -611,11 +640,22 @@ func (e *Engine) resolve(req Request) (task, error) {
 				Msg: fmt.Sprintf("dense noisy simulation handles witnesses up to %d qubits; backend %q compiles this %d-qubit circuit to a %d-slot witness (Clifford circuits dispatch to the stabilizer engine, up to %d qubits)",
 					noise.MaxQubits, be.Name(), circ.N, w, noise.MaxStabQubits)}
 		}
+		// Normalise the engine option to the one that will actually run, so
+		// the cache keys on the resolved engine: "auto" (or empty) on a
+		// Clifford circuit and an explicit "stab" pin are the same
+		// computation and must share one cache entry — while "dense" and
+		// "stab" runs of the same circuit never alias.
+		if stabEligible {
+			engine = noise.EngineStab
+		} else {
+			engine = noise.EngineDense
+		}
 	}
 	opts := compiler.Options{Seed: req.Seed, SerialRouter: req.Serial, DenseMapper: req.Dense,
 		Exact: req.Exact, BudgetSeconds: req.Budget,
 		NoisyShots: req.Shots, NoiseSeed: req.NoiseSeed, NoiseScale: req.NoiseScale,
-		Noise1Q: req.Noise1Q, Noise2Q: req.Noise2Q, Engine: req.Engine}
+		Noise1Q: req.Noise1Q, Noise2Q: req.Noise2Q, Engine: engine,
+		SampleBits: req.Sample, ShotOffset: req.ShotOffset}
 	if err := opts.ApplyRelax(req.Relax); err != nil {
 		return task{}, &RequestError{Msg: err.Error()}
 	}
@@ -630,7 +670,7 @@ func (e *Engine) resolve(req Request) (task, error) {
 		label:   label,
 		hash:    hash,
 		key:     cacheKey(be.Name(), hash, tgt, opts),
-		class:   classOf(opts.NoisyShots),
+		class:   classOf(opts),
 		prio:    prio,
 		backend: be,
 		target:  tgt,
@@ -794,6 +834,17 @@ func (e *Engine) Submit(ctx context.Context, req Request) (*Job, error) {
 	if err != nil {
 		return nil, err
 	}
+	j, err := e.submitResolved(ctx, t)
+	if err != nil {
+		return nil, err
+	}
+	return e.snapshot(j), nil
+}
+
+// submitResolved enqueues an already-resolved task through the admission
+// gate, fail-fast. The streaming sample handler uses it directly so it can
+// attach its emit callback to the task before submission.
+func (e *Engine) submitResolved(ctx context.Context, t task) (*job, error) {
 	if !e.beginSubmit() {
 		return nil, ErrClosed
 	}
@@ -817,7 +868,7 @@ func (e *Engine) Submit(ctx context.Context, req Request) (*Job, error) {
 		e.submitted.Add(1)
 		e.tel.admissionDecisions.With(t.prio.String(), admissionAdmitted).Inc()
 		e.logJob(j, "job queued")
-		return e.snapshot(j), nil
+		return j, nil
 	default:
 		e.rejected.Add(1)
 		e.tel.admissionDecisions.With(t.prio.String(), admissionQueueFull).Inc()
@@ -931,7 +982,7 @@ func (e *Engine) CompileMetrics(ctx context.Context, cfg hardware.Config, circ *
 	hash := e.fpMemo.fingerprint(circ)
 	tgt := compiler.FPQA(cfg)
 	t := task{label: "in-process", hash: hash, key: cacheKey(be.Name(), hash, tgt, opts),
-		class: classOf(opts.NoisyShots), prio: admission.Batch,
+		class: classOf(opts), prio: admission.Batch,
 		backend: be, target: tgt, circ: circ, opts: opts}
 	j, err := e.submitBlocking(ctx, t)
 	if err != nil {
@@ -1085,6 +1136,13 @@ func (e *Engine) run(j *job) {
 // on its entry (counted as cache hits — no duplicate work happens). If an
 // owner is cancelled mid-compile, a live waiter retries and takes ownership.
 func (e *Engine) compute(ctx context.Context, t task) (*outcome, bool) {
+	// Streaming sample jobs bypass the cache entirely: their product is the
+	// live record stream, which only exists on this request's connection —
+	// neither serving a histogram from cache nor caching this run's would be
+	// the requested computation.
+	if t.emit != nil {
+		return e.execute(ctx, t), false
+	}
 	sp := obs.SpanFromContext(ctx)
 	for {
 		lookupStart := time.Now()
@@ -1168,17 +1226,27 @@ func (e *Engine) execute(ctx context.Context, t task) (out *outcome) {
 	// per (options, seed), so the outcome stays cacheable. The trajectory
 	// engine hangs its witness-replay and chunk spans off the job root in
 	// ctx, as siblings of the compile span.
-	if err := compiler.AttachNoise(ctx, t.target, res, t.opts); err != nil {
+	if t.emit != nil {
+		err = compiler.AttachSample(ctx, t.target, res, t.opts, t.emit)
+	} else {
+		err = compiler.AttachNoise(ctx, t.target, res, t.opts)
+	}
+	if err != nil {
 		return &outcome{err: err}
 	}
 	if t.opts.NoisyShots > 0 {
-		e.tel.shots.Add(float64(t.opts.NoisyShots))
+		if t.opts.SampleBits {
+			e.tel.sampledShots.Add(float64(t.opts.NoisyShots))
+		} else {
+			e.tel.shots.Add(float64(t.opts.NoisyShots))
+		}
 	}
 	env := report.NewEnvelope(t.hash, res.Metrics)
 	env.Backend = res.Backend
 	env.Extra = res.Extra
 	env.TimedOut = res.TimedOut
 	env.Noise = res.Noise
+	env.Sample = res.Sample
 	js, err := env.EncodeJSON()
 	if err != nil {
 		return &outcome{err: fmt.Errorf("service: encode result: %w", err)}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"atomique/internal/admission"
+	"atomique/internal/compiler"
 	"atomique/internal/obs"
 )
 
@@ -15,6 +16,7 @@ import (
 const (
 	ClassCompile  = "compile"
 	ClassSimulate = "simulate"
+	ClassSample   = "sample"
 )
 
 // Job outcome labels for the request counter.
@@ -70,6 +72,11 @@ type telemetry struct {
 	passLatency *obs.HistogramVec
 	// shots counts trajectory shots executed (throughput via rate()).
 	shots *obs.Counter
+	// sampledShots counts measurement shots sampled by /v1/sample jobs;
+	// streamedShots counts the subset delivered live over streaming
+	// connections (streamed ≤ sampled; the rest were histogram-only).
+	sampledShots  *obs.Counter
+	streamedShots *obs.Counter
 	// panicsTotal counts backend panics recovered by workers.
 	panicsTotal *obs.Counter
 	// admissionDecisions counts submissions by priority class x decision
@@ -107,6 +114,10 @@ func newTelemetry(e *Engine, logger *slog.Logger, traceBuffer int) *telemetry {
 			nil, "pass"),
 		shots: r.Counter("atomique_trajectory_shots_total",
 			"Monte-Carlo trajectory shots executed by noisy-simulate jobs."),
+		sampledShots: r.Counter("atomique_sampled_shots_total",
+			"Measurement shots sampled by /v1/sample jobs."),
+		streamedShots: r.Counter("atomique_streamed_shots_total",
+			"Sampled shot records delivered over live /v1/sample?stream=1 connections."),
 		panicsTotal: r.Counter("atomique_panics_total",
 			"Backend panics recovered by workers (the job failed, the worker survived)."),
 		admissionDecisions: r.CounterVec("atomique_admission_decisions_total",
@@ -184,9 +195,13 @@ func newTelemetry(e *Engine, logger *slog.Logger, traceBuffer int) *telemetry {
 }
 
 // classOf maps compile options to the request class.
-func classOf(noisyShots int) string {
-	if noisyShots > 0 {
+func classOf(opts compiler.Options) string {
+	switch {
+	case opts.SampleBits:
+		return ClassSample
+	case opts.NoisyShots > 0:
 		return ClassSimulate
+	default:
+		return ClassCompile
 	}
-	return ClassCompile
 }

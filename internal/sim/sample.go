@@ -1,0 +1,51 @@
+package sim
+
+import "sort"
+
+// Sampler draws computational-basis outcomes from a fixed state via its
+// cumulative measurement distribution: one binary search per draw. Built
+// once per sampling run for the ideal (error-free) output, which every
+// non-errored shot samples from; all state is read-only after construction,
+// so concurrent draws are safe.
+type Sampler struct {
+	N   int
+	cdf []float64
+}
+
+// NewSampler precomputes the cumulative distribution of s.
+func NewSampler(s *State) *Sampler {
+	cdf := make([]float64, len(s.Amp))
+	acc := 0.0
+	for i, a := range s.Amp {
+		acc += real(a)*real(a) + imag(a)*imag(a)
+		cdf[i] = acc
+	}
+	return &Sampler{N: s.N, cdf: cdf}
+}
+
+// Draw maps a uniform u ∈ (0, 1] to a basis-state index.
+func (sp *Sampler) Draw(u float64) int {
+	u *= sp.cdf[len(sp.cdf)-1] // tolerate norm drift from long gate streams
+	i := sort.SearchFloat64s(sp.cdf, u)
+	if i >= len(sp.cdf) {
+		i = len(sp.cdf) - 1
+	}
+	return i
+}
+
+// SampleState maps a uniform u ∈ (0, 1] to a basis-state index of an
+// arbitrary state by a single linear accumulation — used for errored-shot
+// states that exist only transiently in a worker's scratch buffer, where
+// building a Sampler would cost the same pass plus an allocation.
+func SampleState(s *State, u float64) int {
+	norm := s.Norm()
+	target := u * norm
+	acc := 0.0
+	for i, a := range s.Amp {
+		acc += real(a)*real(a) + imag(a)*imag(a)
+		if acc >= target {
+			return i
+		}
+	}
+	return len(s.Amp) - 1
+}
