@@ -8,25 +8,38 @@
 //	          [-workers-min 1] [-workers-max 16] [-admission]
 //	          [-admission-slo 250ms] [-slm 10] [-aods 2] [-aodsize 10]
 //	          [-ops-addr :8792] [-log-level info] [-trace-buffer 256]
-//	          [-smoke]
+//	          [-trace-sample 1] [-slo-config slo.json] [-bundle-dir dir]
+//	          [-bundle-max 8] [-smoke]
 //
 // -admission enables the saturation-aware admission controller: the worker
 // pool autoscales within [-workers-min, -workers-max] and submissions are
 // shed with 429 + Retry-After before the queue saturates (batch-class first;
 // interactive requests keep their -admission-slo queue-wait objective).
 //
+// -slo-config loads declarative burn-rate objectives (default: availability
+// and latency objectives per request class); GET /v1/slo reports their
+// state. -bundle-dir enables the flight recorder: an SLO page, the onset of
+// admission shedding, or a worker panic captures a diagnostic bundle
+// (CPU/goroutine/heap profiles, pinned traces, admission model, metrics
+// dump, resolved config) into a bounded on-disk ring browsable under
+// GET /v1/debug/bundles. -trace-sample keeps only that fraction of fast
+// successful traces; errors, sheds, and slow-tail traces are always pinned.
+//
 // Endpoints: POST /v1/compile, POST /v1/simulate, POST /v1/compile/batch,
 // GET /v1/jobs/{id}, DELETE /v1/jobs/{id}, GET /v1/backends,
 // GET /v1/benchmarks, GET /v1/healthz, GET /v1/stats, GET /v1/traces,
-// GET /metrics. Requests select a compiler backend via the "backend" field
-// (default "atomique"; discover via GET /v1/backends) and may carry an
-// X-Trace-Id header to name their request trace.
+// GET /v1/slo, GET+POST /v1/debug/bundles, GET /metrics (OpenMetrics with
+// trace-ID exemplars when the Accept header asks for it). Requests select a
+// compiler backend via the "backend" field (default "atomique"; discover via
+// GET /v1/backends) and may carry an X-Trace-Id header to name their request
+// trace.
 //
 // -ops-addr starts a second listener with net/http/pprof under /debug/pprof/
 // and a /metrics mirror, so profiling and scraping need not share the API
 // port. -smoke boots the server on a loopback port, drives a compile and a
-// noisy simulate through it, validates the /metrics exposition and
-// /v1/traces, and exits — the CI end-to-end check.
+// noisy simulate through it, validates the /metrics exposition (both classic
+// and OpenMetrics-with-exemplars forms), /v1/traces, /v1/slo, and a manual
+// flight-recorder bundle, and exits — the CI end-to-end check.
 package main
 
 import (
@@ -48,6 +61,7 @@ import (
 	"atomique/internal/core"
 	"atomique/internal/hardware"
 	"atomique/internal/obs"
+	"atomique/internal/obs/slo"
 	"atomique/internal/service"
 )
 
@@ -95,7 +109,11 @@ func main() {
 		opsAddr     = flag.String("ops-addr", "", "ops listen address for pprof + /metrics (empty = disabled)")
 		logLevel    = flag.String("log-level", "info", "log level: debug, info, warn, error")
 		traceBuffer = flag.Int("trace-buffer", 256, "finished traces kept for GET /v1/traces")
-		smoke       = flag.Bool("smoke", false, "boot on a loopback port, self-check compile/simulate/metrics/traces, exit")
+		traceSample = flag.Float64("trace-sample", 1, "probability a fast successful trace enters the ring (errors, sheds, and slow-tail traces are always kept)")
+		sloConfig   = flag.String("slo-config", "", "JSON SLO config for the burn-rate engine (empty = default per-class objectives)")
+		bundleDir   = flag.String("bundle-dir", "", "flight-recorder bundle directory (empty = recorder disabled; -smoke defaults it to a temp dir)")
+		bundleMax   = flag.Int("bundle-max", 8, "diagnostic bundles kept on disk before the oldest is deleted")
+		smoke       = flag.Bool("smoke", false, "boot on a loopback port, self-check compile/simulate/metrics/traces/slo/bundles, exit")
 	)
 	flag.Parse()
 
@@ -112,6 +130,26 @@ func main() {
 		os.Exit(1)
 	}
 
+	var sloCfg slo.Config
+	if *sloConfig != "" {
+		sloCfg, err = slo.LoadConfig(*sloConfig)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "atomiqued: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	// The smoke check exercises the bundle endpoints, so it needs a recorder
+	// even when the caller did not pass -bundle-dir.
+	if *smoke && *bundleDir == "" {
+		dir, err := os.MkdirTemp("", "atomiqued-bundles-")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "atomiqued: %v\n", err)
+			os.Exit(1)
+		}
+		defer os.RemoveAll(dir)
+		*bundleDir = dir
+	}
+
 	engine := service.New(service.Config{
 		Workers:     *workers,
 		WorkersMin:  *workersMin,
@@ -120,6 +158,9 @@ func main() {
 		CacheSize:   *cache,
 		Hardware:    hw,
 		TraceBuffer: *traceBuffer,
+		TraceSample: *traceSample,
+		SLO:         sloCfg,
+		Bundles:     service.BundleConfig{Dir: *bundleDir, MaxBundles: *bundleMax},
 		Logger:      logger,
 		Admission: admission.Config{
 			Enabled:         *admit,

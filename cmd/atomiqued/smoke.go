@@ -138,5 +138,122 @@ func runSmoke(engine *service.Engine, logger *slog.Logger) error {
 		}
 	}
 	logger.Info("traces browsable", "compile", compiled.TraceID, "simulate", simulated.TraceID)
+
+	// The negotiated OpenMetrics form must carry trace-ID exemplars, end in
+	// # EOF, and still satisfy the strict parser.
+	omReq, err := http.NewRequest(http.MethodGet, base+"/metrics", nil)
+	if err != nil {
+		return err
+	}
+	omReq.Header.Set("Accept", "application/openmetrics-text; version=1.0.0")
+	omResp, err := client.Do(omReq)
+	if err != nil {
+		return err
+	}
+	om, err := io.ReadAll(omResp.Body)
+	omResp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if ct := omResp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/openmetrics-text") {
+		return fmt.Errorf("negotiated scrape content type %q", ct)
+	}
+	if _, err := obs.ParseExposition(bytes.NewReader(om)); err != nil {
+		return fmt.Errorf("OpenMetrics exposition invalid: %w", err)
+	}
+	if !strings.Contains(string(om), `# {trace_id="`) {
+		return fmt.Errorf("OpenMetrics scrape carries no exemplars")
+	}
+	if !strings.HasSuffix(strings.TrimRight(string(om), "\n"), "# EOF") {
+		return fmt.Errorf("OpenMetrics scrape does not end with # EOF")
+	}
+	logger.Info("openmetrics exposition valid, exemplars present")
+
+	// /v1/slo must report every objective evaluated and healthy — the smoke
+	// traffic is far too small to burn budget.
+	resp, err = client.Get(base + "/v1/slo")
+	if err != nil {
+		return err
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	var sloStatus struct {
+		Worst      string `json:"worst"`
+		Objectives []struct {
+			Name  string `json:"name"`
+			State string `json:"state"`
+		} `json:"objectives"`
+	}
+	if err := json.Unmarshal(raw, &sloStatus); err != nil {
+		return fmt.Errorf("GET /v1/slo: decode: %w", err)
+	}
+	if sloStatus.Worst != "ok" || len(sloStatus.Objectives) == 0 {
+		return fmt.Errorf("GET /v1/slo: worst=%q objectives=%d, want ok with objectives: %s",
+			sloStatus.Worst, len(sloStatus.Objectives), raw)
+	}
+	logger.Info("slo engine healthy", "objectives", len(sloStatus.Objectives))
+
+	// A manual flight-recorder trigger must produce a complete bundle with
+	// non-empty profiles.
+	trigResp, err := client.Post(base+"/v1/debug/bundles?reason=smoke", "application/json", nil)
+	if err != nil {
+		return err
+	}
+	trigRaw, err := io.ReadAll(trigResp.Body)
+	trigResp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if trigResp.StatusCode != http.StatusAccepted {
+		return fmt.Errorf("POST /v1/debug/bundles: status %d: %s", trigResp.StatusCode, trigRaw)
+	}
+	var created struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(trigRaw, &created); err != nil || created.ID == "" {
+		return fmt.Errorf("POST /v1/debug/bundles: bad response %s", trigRaw)
+	}
+	var bundle obs.BundleMeta
+	for deadline := time.Now().Add(30 * time.Second); ; {
+		resp, err := client.Get(base + "/v1/debug/bundles/" + created.ID)
+		if err != nil {
+			return err
+		}
+		raw, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("GET /v1/debug/bundles/%s: status %d", created.ID, resp.StatusCode)
+		}
+		if err := json.Unmarshal(raw, &bundle); err != nil {
+			return err
+		}
+		if bundle.Complete {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("bundle %s not complete after 30s", created.ID)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	want := map[string]bool{"cpu.pprof": false, "goroutine.pprof": false, "heap.pprof": false,
+		"traces.json": false, "admission.json": false, "stats.json": false,
+		"config.json": false, "metrics.prom": false}
+	for _, f := range bundle.Files {
+		if _, ok := want[f.Name]; ok {
+			want[f.Name] = f.Bytes > 0 && f.Error == ""
+		}
+	}
+	for name, ok := range want {
+		if !ok {
+			return fmt.Errorf("bundle %s: file %s missing, empty, or errored: %+v", created.ID, name, bundle.Files)
+		}
+	}
+	logger.Info("flight recorder bundle complete", "bundle", created.ID, "files", len(bundle.Files))
 	return nil
 }

@@ -5,7 +5,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
+	"sort"
+	"strconv"
 	"time"
 
 	"atomique/internal/bench"
@@ -60,6 +63,53 @@ type benchRecord struct {
 	// the dense workload's — the Clifford fast path's win on the sampling
 	// product specifically.
 	SampleStabVsDenseSpeedup float64 `json:"sampleStabVsDenseSpeedup,omitempty"`
+}
+
+// resolveBaseline turns the -bench-baseline flag into Tab2 seconds/op. The
+// flag accepts three forms: a bare number (back-compat), a path to one
+// committed BENCH_*.json record, or a directory of them — the
+// lexically-latest record wins, so pointing CI at the repo root always diffs
+// against the most recent committed trajectory point. Returns the seconds,
+// the source description ("" for the literal-number form), and any error;
+// an empty flag resolves to no baseline.
+func resolveBaseline(arg string) (float64, string, error) {
+	if arg == "" {
+		return 0, "", nil
+	}
+	if sec, err := strconv.ParseFloat(arg, 64); err == nil {
+		if sec < 0 {
+			return 0, "", fmt.Errorf("negative baseline %v", sec)
+		}
+		return sec, "", nil
+	}
+	info, err := os.Stat(arg)
+	if err != nil {
+		return 0, "", err
+	}
+	path := arg
+	if info.IsDir() {
+		records, err := filepath.Glob(filepath.Join(arg, "BENCH_*.json"))
+		if err != nil {
+			return 0, "", err
+		}
+		if len(records) == 0 {
+			return 0, "", fmt.Errorf("no BENCH_*.json records in %s", arg)
+		}
+		sort.Strings(records)
+		path = records[len(records)-1]
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return 0, "", err
+	}
+	var rec benchRecord
+	if err := json.Unmarshal(raw, &rec); err != nil {
+		return 0, "", fmt.Errorf("%s: %w", path, err)
+	}
+	if rec.Tab2CompileSeconds <= 0 {
+		return 0, "", fmt.Errorf("%s: no tab2CompileSeconds recorded", path)
+	}
+	return rec.Tab2CompileSeconds, path, nil
 }
 
 // bestOf returns the minimum wall time of n runs of fn — the same

@@ -9,7 +9,7 @@
 //	loadgen -addr http://127.0.0.1:8791 [-duration 30s] [-rps 20]
 //	        [-batch-rps 5] [-sample-rps 0] [-sample-shots 20000]
 //	        [-burst 10] [-burst-start 10s] [-burst-len 10s]
-//	        [-benchmark H2-4] [-timeout 30s]
+//	        [-benchmark H2-4] [-timeout 30s] [-json] [-scrape]
 //
 // -sample-rps mixes in POST /v1/sample jobs (batch priority, -sample-shots
 // measurement shots each) — the sampling-product workout: trajectory
@@ -21,6 +21,13 @@
 // code is 1 if any request drew a 5xx, a transport error, or a 429 without
 // Retry-After — 429s themselves are expected output under overload, not
 // failures.
+//
+// -json replaces the human-readable report with one JSON object on stdout
+// ({"classes": {...}, "workersTarget": [...]}) so CI can assert on exact
+// counts with jq instead of grepping. -scrape fetches /metrics with the
+// OpenMetrics Accept header after the run and fails the process if the
+// exposition does not parse strictly or carries no trace-ID exemplars —
+// a live-scrape regression check that rides along with every soak.
 package main
 
 import (
@@ -33,9 +40,12 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"atomique/internal/obs"
 )
 
 type result struct {
@@ -75,6 +85,8 @@ func main() {
 		burstLen   = flag.Duration("burst-len", 10*time.Second, "burst window length")
 		benchmark  = flag.String("benchmark", "H2-4", "benchmark circuit to compile")
 		timeout    = flag.Duration("timeout", 30*time.Second, "per-request timeout")
+		jsonOut    = flag.Bool("json", false, "emit one machine-readable JSON summary on stdout instead of the table")
+		scrape     = flag.Bool("scrape", false, "after the run, fetch /metrics as OpenMetrics and fail unless it parses strictly with exemplars")
 	)
 	flag.Parse()
 
@@ -145,7 +157,7 @@ func main() {
 	}
 
 	// Sample the worker target so the report shows the pool tracking load.
-	targets := make(chan string, 1)
+	targets := make(chan []int, 1)
 	sampleDone := make(chan struct{})
 	go func() {
 		type stats struct {
@@ -157,7 +169,7 @@ func main() {
 		for {
 			select {
 			case <-sampleDone:
-				targets <- fmt.Sprint(trajectory)
+				targets <- trajectory
 				return
 			case <-tick.C:
 				resp, err := client.Get(*addr + "/v1/stats")
@@ -214,6 +226,22 @@ func main() {
 	<-collectorDone
 	close(sampleDone)
 
+	type classReport struct {
+		Sent              int     `json:"sent"`
+		OK                int     `json:"ok"`
+		Shed              int     `json:"shed"`
+		Failed            int     `json:"failed"`
+		Transport         int     `json:"transport"`
+		MissingRetryAfter int     `json:"missingRetryAfter"`
+		P50Ms             float64 `json:"p50Ms"`
+		P90Ms             float64 `json:"p90Ms"`
+		P99Ms             float64 `json:"p99Ms"`
+	}
+	report := struct {
+		Classes       map[string]classReport `json:"classes"`
+		WorkersTarget []int                  `json:"workersTarget"`
+	}{Classes: make(map[string]classReport)}
+
 	exit := 0
 	for _, class := range []string{"interactive", "batch", "sample"} {
 		s := collected[class]
@@ -221,11 +249,21 @@ func main() {
 			continue
 		}
 		sort.Slice(s.latencies, func(i, j int) bool { return s.latencies[i] < s.latencies[j] })
-		fmt.Printf("%-12s sent=%d ok=%d shed=%d failed=%d transport=%d p50=%s p90=%s p99=%s\n",
-			class, s.sent, s.ok, s.shed, s.failed, s.transport,
-			percentile(s.latencies, 50).Round(time.Millisecond),
-			percentile(s.latencies, 90).Round(time.Millisecond),
-			percentile(s.latencies, 99).Round(time.Millisecond))
+		p50 := percentile(s.latencies, 50)
+		p90 := percentile(s.latencies, 90)
+		p99 := percentile(s.latencies, 99)
+		report.Classes[class] = classReport{
+			Sent: s.sent, OK: s.ok, Shed: s.shed, Failed: s.failed, Transport: s.transport,
+			MissingRetryAfter: s.missingRetryAfter,
+			P50Ms:             float64(p50) / float64(time.Millisecond),
+			P90Ms:             float64(p90) / float64(time.Millisecond),
+			P99Ms:             float64(p99) / float64(time.Millisecond),
+		}
+		if !*jsonOut {
+			fmt.Printf("%-12s sent=%d ok=%d shed=%d failed=%d transport=%d p50=%s p90=%s p99=%s\n",
+				class, s.sent, s.ok, s.shed, s.failed, s.transport,
+				p50.Round(time.Millisecond), p90.Round(time.Millisecond), p99.Round(time.Millisecond))
+		}
 		if s.failed > 0 || s.transport > 0 {
 			fmt.Fprintf(os.Stderr, "loadgen: %s: %d failed, %d transport errors\n", class, s.failed, s.transport)
 			exit = 1
@@ -235,6 +273,56 @@ func main() {
 			exit = 1
 		}
 	}
-	fmt.Printf("workersTarget trajectory: %s\n", <-targets)
+	report.WorkersTarget = <-targets
+
+	if *scrape {
+		if err := scrapeOpenMetrics(client, *addr); err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: scrape: %v\n", err)
+			exit = 1
+		} else if !*jsonOut {
+			fmt.Println("openmetrics scrape: parsed with exemplars")
+		}
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(&report) //nolint:errcheck // stdout
+	} else {
+		fmt.Printf("workersTarget trajectory: %v\n", report.WorkersTarget)
+	}
 	os.Exit(exit)
+}
+
+// scrapeOpenMetrics fetches /metrics with the OpenMetrics Accept header and
+// verifies the server's live exposition the same way the smoke check does:
+// strict parse, exemplars present, terminated by # EOF.
+func scrapeOpenMetrics(client *http.Client, addr string) error {
+	req, err := http.NewRequest(http.MethodGet, addr+"/metrics", nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Accept", "application/openmetrics-text; version=1.0.0")
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if !strings.HasPrefix(resp.Header.Get("Content-Type"), "application/openmetrics-text") {
+		return fmt.Errorf("content type %q", resp.Header.Get("Content-Type"))
+	}
+	if _, err := obs.ParseExposition(bytes.NewReader(raw)); err != nil {
+		return fmt.Errorf("exposition invalid: %w", err)
+	}
+	if !strings.Contains(string(raw), `# {trace_id="`) {
+		return fmt.Errorf("no exemplars in exposition")
+	}
+	if !strings.HasSuffix(strings.TrimRight(string(raw), "\n"), "# EOF") {
+		return fmt.Errorf("exposition does not end with # EOF")
+	}
+	return nil
 }

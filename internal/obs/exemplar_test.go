@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestExemplarRoundTrip: traced observations surface as OpenMetrics
+// exemplars, the strict parser accepts its own output, and the classic
+// (non-negotiated) exposition stays exemplar-free.
+func TestExemplarRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	h := r.HistogramVec("atomique_request_duration_seconds", "request latency",
+		nil, "backend", "class")
+	h.With("atomique", "compile").ObserveExemplar(0.003, "abcdef0123456789")
+	h.With("atomique", "compile").Observe(0.1) // untraced: no exemplar on its bucket
+	r.Counter("atomique_jobs_total", "total").Add(2)
+
+	var buf bytes.Buffer
+	if err := r.WriteOpenMetrics(&buf); err != nil {
+		t.Fatalf("WriteOpenMetrics: %v", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `# {trace_id="abcdef0123456789"} 0.003`) {
+		t.Errorf("exemplar missing from OpenMetrics output:\n%s", out)
+	}
+	if !strings.HasSuffix(strings.TrimRight(out, "\n"), "# EOF") {
+		t.Errorf("OpenMetrics output must end with # EOF:\n%s", out)
+	}
+	if _, err := ParseExposition(strings.NewReader(out)); err != nil {
+		t.Fatalf("ParseExposition rejected our own OpenMetrics output: %v\n---\n%s", err, out)
+	}
+
+	buf.Reset()
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	if strings.Contains(buf.String(), "trace_id") || strings.Contains(buf.String(), "# EOF") {
+		t.Errorf("classic exposition must not carry OpenMetrics extensions:\n%s", buf.String())
+	}
+}
+
+// TestParseExpositionExemplarAccepts covers valid exemplar shapes.
+func TestParseExpositionExemplarAccepts(t *testing.T) {
+	for name, text := range map[string]string{
+		"with-timestamp": "# TYPE h histogram\n" +
+			"h_bucket{le=\"0.25\"} 3 # {trace_id=\"abc123\"} 0.1 1712345678.5\n" +
+			"h_bucket{le=\"+Inf\"} 3\nh_sum 0.3\nh_count 3\n",
+		"without-timestamp": "# TYPE h histogram\n" +
+			"h_bucket{le=\"0.25\"} 3 # {trace_id=\"abc123\"} 0.1\n" +
+			"h_bucket{le=\"+Inf\"} 3\nh_sum 0.3\nh_count 3\n",
+		"inf-bucket": "# TYPE h histogram\n" +
+			"h_bucket{le=\"+Inf\"} 1 # {trace_id=\"abc123\"} 99.5 1712345678\n" +
+			"h_sum 99.5\nh_count 1\n",
+		"eof-marker": "# TYPE x counter\nx 1\n# EOF\n",
+	} {
+		if _, err := ParseExposition(strings.NewReader(text)); err != nil {
+			t.Errorf("%s: parser rejected valid exposition: %v", name, err)
+		}
+	}
+}
+
+// TestParseExpositionExemplarRejects covers malformed exemplars.
+func TestParseExpositionExemplarRejects(t *testing.T) {
+	bucketLine := func(exemplar string) string {
+		return "# TYPE h histogram\n" +
+			"h_bucket{le=\"0.25\"} 3 " + exemplar + "\n" +
+			"h_bucket{le=\"+Inf\"} 3\nh_sum 0.3\nh_count 3\n"
+	}
+	for name, text := range map[string]string{
+		"on-counter":        "# TYPE x counter\nx 1 # {trace_id=\"abc123\"} 1\n",
+		"on-gauge":          "# TYPE g gauge\ng 1 # {trace_id=\"abc123\"} 1\n",
+		"missing-trace-id":  bucketLine(`# {span="q"} 0.1`),
+		"invalid-trace-id":  bucketLine(`# {trace_id="bad id!"} 0.1`),
+		"value-over-le":     bucketLine(`# {trace_id="abc123"} 0.5`),
+		"unquoted-label":    bucketLine(`# {trace_id=abc123} 0.1`),
+		"no-label-set":      bucketLine(`# trace_id 0.1`),
+		"missing-value":     bucketLine(`# {trace_id="abc123"}`),
+		"bad-value":         bucketLine(`# {trace_id="abc123"} banana`),
+		"bad-timestamp":     bucketLine(`# {trace_id="abc123"} 0.1 banana`),
+		"content-after-eof": "# TYPE x counter\nx 1\n# EOF\nx 2\n",
+	} {
+		if _, err := ParseExposition(strings.NewReader(text)); err == nil {
+			t.Errorf("%s: parser accepted malformed exposition", name)
+		}
+	}
+}
+
+// TestCountLE: bucket-aligned thresholds sum exactly the buckets at or below
+// the bound.
+func TestCountLE(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1.5, 3, 10} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	for _, tc := range []struct {
+		v    float64
+		want uint64
+	}{{0.5, 0}, {1, 1}, {2, 2}, {4, 3}, {100, 3}} {
+		if got := s.CountLE(tc.v); got != tc.want {
+			t.Errorf("CountLE(%v) = %d, want %d", tc.v, got, tc.want)
+		}
+	}
+}
+
+// TestFuncVecs: scrape-time-computed counter/gauge families render and
+// round-trip through the parser.
+func TestFuncVecs(t *testing.T) {
+	r := NewRegistry()
+	evicted := r.CounterFuncVec("atomique_traces_evicted_total", "evictions", "segment")
+	evicted.Register(func() float64 { return 5 }, "sampled")
+	evicted.Register(func() float64 { return 1 }, "pinned")
+	r.CounterFunc("atomique_traces_sampled_out_total", "dropped", func() float64 { return 9 })
+	g := r.GaugeFuncVec("atomique_slo_state", "state", "objective")
+	g.Register(func() float64 { return 2 }, "compile-availability")
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`atomique_traces_evicted_total{segment="sampled"} 5`,
+		`atomique_traces_evicted_total{segment="pinned"} 1`,
+		`atomique_traces_sampled_out_total 9`,
+		`atomique_slo_state{objective="compile-availability"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n---\n%s", want, out)
+		}
+	}
+	if _, err := ParseExposition(strings.NewReader(out)); err != nil {
+		t.Fatalf("ParseExposition rejected func-vec output: %v\n---\n%s", err, out)
+	}
+}

@@ -1,0 +1,303 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime/pprof"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Collector produces one file of a diagnostic bundle. Name is the file name
+// inside the bundle directory; Collect streams the content. Collectors run
+// sequentially in registration order (the CPU profile runs first so that
+// state collectors see the incident a second further developed).
+type Collector struct {
+	Name    string
+	Collect func(ctx context.Context, w *os.File) error
+}
+
+// BundleFile describes one captured file in a bundle's manifest.
+type BundleFile struct {
+	Name  string `json:"name"`
+	Bytes int64  `json:"bytes"`
+	Error string `json:"error,omitempty"`
+}
+
+// BundleMeta is a bundle's manifest, persisted as meta.json inside the
+// bundle directory and served by GET /v1/debug/bundles.
+type BundleMeta struct {
+	ID          string       `json:"id"`
+	Trigger     string       `json:"trigger"` // slo-page | saturation | panic | manual
+	Reason      string       `json:"reason,omitempty"`
+	StartedAt   time.Time    `json:"startedAt"`
+	CompletedAt time.Time    `json:"completedAt,omitzero"`
+	Complete    bool         `json:"complete"`
+	Files       []BundleFile `json:"files,omitempty"`
+}
+
+// RecorderConfig configures the flight recorder.
+type RecorderConfig struct {
+	Dir        string        // bundle root; must be non-empty
+	MaxBundles int           // on-disk ring size; default 8
+	Debounce   time.Duration // min spacing between automatic captures; default 60s
+	Clock      func() time.Time
+}
+
+// Recorder is the flight recorder: on a trigger it captures a diagnostic
+// bundle — each registered collector's output — into a bounded on-disk ring
+// of per-bundle directories. Captures run asynchronously (a trigger returns
+// immediately), one at a time, and automatic triggers are debounced so a
+// flapping SLO cannot fill the disk; manual triggers bypass the debounce but
+// still respect the single-flight rule.
+type Recorder struct {
+	dir        string
+	max        int
+	debounce   time.Duration
+	clock      func() time.Time
+	collectors []Collector
+
+	mu        sync.Mutex
+	bundles   []BundleMeta // oldest first
+	capturing bool
+	lastAuto  time.Time
+	seq       int
+	wg        sync.WaitGroup
+}
+
+// NewRecorder opens (creating if needed) the bundle directory, loads the
+// manifests of bundles surviving from earlier runs, and returns a recorder
+// that will capture the given collectors.
+func NewRecorder(cfg RecorderConfig, collectors ...Collector) (*Recorder, error) {
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("obs: flight recorder needs a bundle directory")
+	}
+	if cfg.MaxBundles <= 0 {
+		cfg.MaxBundles = 8
+	}
+	if cfg.Debounce <= 0 {
+		cfg.Debounce = time.Minute
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("obs: flight recorder: %w", err)
+	}
+	r := &Recorder{dir: cfg.Dir, max: cfg.MaxBundles, debounce: cfg.Debounce,
+		clock: cfg.Clock, collectors: collectors}
+	r.loadExisting()
+	return r, nil
+}
+
+// loadExisting indexes bundle directories left by a previous process so the
+// ring (and its bound) spans restarts.
+func (r *Recorder) loadExisting() {
+	entries, err := os.ReadDir(r.dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		raw, err := os.ReadFile(filepath.Join(r.dir, e.Name(), "meta.json"))
+		if err != nil {
+			continue
+		}
+		var meta BundleMeta
+		if json.Unmarshal(raw, &meta) != nil || meta.ID != e.Name() {
+			continue
+		}
+		r.bundles = append(r.bundles, meta)
+	}
+	sort.Slice(r.bundles, func(i, j int) bool {
+		return r.bundles[i].StartedAt.Before(r.bundles[j].StartedAt)
+	})
+	r.pruneLocked()
+}
+
+// Trigger requests a bundle capture. Automatic triggers (manual=false) are
+// debounced; manual ones are not. Either kind is skipped while a capture is
+// already in flight. Returns the bundle ID and whether a capture started.
+func (r *Recorder) Trigger(trigger, reason string, manual bool) (string, bool) {
+	r.mu.Lock()
+	now := r.clock()
+	if r.capturing {
+		r.mu.Unlock()
+		return "", false
+	}
+	if !manual && !r.lastAuto.IsZero() && now.Sub(r.lastAuto) < r.debounce {
+		r.mu.Unlock()
+		return "", false
+	}
+	if !manual {
+		r.lastAuto = now
+	}
+	r.seq++
+	id := fmt.Sprintf("%s-%03d-%s", now.UTC().Format("20060102T150405"), r.seq, sanitizeID(trigger))
+	meta := BundleMeta{ID: id, Trigger: trigger, Reason: reason, StartedAt: now}
+	r.bundles = append(r.bundles, meta)
+	r.capturing = true
+	r.wg.Add(1)
+	r.mu.Unlock()
+	go r.capture(meta)
+	return id, true
+}
+
+// capture runs every collector into the bundle directory, then finalises the
+// manifest and prunes the ring.
+func (r *Recorder) capture(meta BundleMeta) {
+	defer r.wg.Done()
+	dir := filepath.Join(r.dir, meta.ID)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		meta.Files = append(meta.Files, BundleFile{Name: ".", Error: err.Error()})
+		r.finish(meta)
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for _, c := range r.collectors {
+		bf := BundleFile{Name: c.Name}
+		f, err := os.Create(filepath.Join(dir, c.Name))
+		if err != nil {
+			bf.Error = err.Error()
+			meta.Files = append(meta.Files, bf)
+			continue
+		}
+		if err := c.Collect(ctx, f); err != nil {
+			bf.Error = err.Error()
+		}
+		if info, err := f.Stat(); err == nil {
+			bf.Bytes = info.Size()
+		}
+		f.Close()
+		meta.Files = append(meta.Files, bf)
+	}
+	meta.CompletedAt = r.clock()
+	meta.Complete = true
+	if raw, err := json.MarshalIndent(meta, "", "  "); err == nil {
+		os.WriteFile(filepath.Join(dir, "meta.json"), raw, 0o644)
+	}
+	r.finish(meta)
+}
+
+func (r *Recorder) finish(meta BundleMeta) {
+	r.mu.Lock()
+	for i := range r.bundles {
+		if r.bundles[i].ID == meta.ID {
+			r.bundles[i] = meta
+			break
+		}
+	}
+	r.capturing = false
+	r.pruneLocked()
+	r.mu.Unlock()
+}
+
+// pruneLocked deletes the oldest bundles beyond the ring bound. Caller holds
+// r.mu.
+func (r *Recorder) pruneLocked() {
+	for len(r.bundles) > r.max {
+		old := r.bundles[0]
+		r.bundles = r.bundles[1:]
+		os.RemoveAll(filepath.Join(r.dir, old.ID))
+	}
+}
+
+// List returns the bundle manifests, newest first.
+func (r *Recorder) List() []BundleMeta {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]BundleMeta, len(r.bundles))
+	for i, b := range r.bundles {
+		out[len(out)-1-i] = b
+	}
+	return out
+}
+
+// Get returns one bundle's manifest.
+func (r *Recorder) Get(id string) (BundleMeta, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, b := range r.bundles {
+		if b.ID == id {
+			return b, true
+		}
+	}
+	return BundleMeta{}, false
+}
+
+// FilePath resolves a bundle file for download, refusing IDs or names that
+// would escape the bundle root.
+func (r *Recorder) FilePath(id, name string) (string, bool) {
+	if _, ok := r.Get(id); !ok {
+		return "", false
+	}
+	if name != filepath.Base(name) || strings.HasPrefix(name, ".") {
+		return "", false
+	}
+	p := filepath.Join(r.dir, id, name)
+	if _, err := os.Stat(p); err != nil {
+		return "", false
+	}
+	return p, true
+}
+
+// Wait blocks until any in-flight capture finishes — engine shutdown and
+// tests use it so bundle directories are complete before teardown.
+func (r *Recorder) Wait() { r.wg.Wait() }
+
+// sanitizeID keeps trigger names path- and URL-safe.
+func sanitizeID(s string) string {
+	var b strings.Builder
+	for _, c := range s {
+		ok := c == '-' || c == '_' || c >= '0' && c <= '9' ||
+			c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+		if ok {
+			b.WriteRune(c)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "trigger"
+	}
+	return b.String()
+}
+
+// ProfileCollectors returns the three runtime-profile collectors every
+// bundle carries: a CPU profile of cpuDuration (first, so the other
+// collectors observe the incident after the profiling window), then
+// goroutine and heap dumps. CPU profiling is process-global; if another
+// profile is already running (e.g. an operator on the pprof port), the
+// cpu.pprof file records the error instead of aborting the bundle.
+func ProfileCollectors(cpuDuration time.Duration) []Collector {
+	if cpuDuration <= 0 {
+		cpuDuration = time.Second
+	}
+	return []Collector{
+		{Name: "cpu.pprof", Collect: func(ctx context.Context, w *os.File) error {
+			if err := pprof.StartCPUProfile(w); err != nil {
+				return err
+			}
+			select {
+			case <-time.After(cpuDuration):
+			case <-ctx.Done():
+			}
+			pprof.StopCPUProfile()
+			return nil
+		}},
+		{Name: "goroutine.pprof", Collect: func(_ context.Context, w *os.File) error {
+			return pprof.Lookup("goroutine").WriteTo(w, 0)
+		}},
+		{Name: "heap.pprof", Collect: func(_ context.Context, w *os.File) error {
+			return pprof.Lookup("heap").WriteTo(w, 0)
+		}},
+	}
+}

@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"context"
+	"os"
+	"testing"
+	"time"
+)
+
+func textCollector(name, content string) Collector {
+	return Collector{Name: name, Collect: func(_ context.Context, w *os.File) error {
+		_, err := w.WriteString(content)
+		return err
+	}}
+}
+
+// TestFlightRecorderCapture: a manual trigger captures every collector —
+// including real goroutine/heap/CPU profiles — into a complete bundle.
+func TestFlightRecorderCapture(t *testing.T) {
+	dir := t.TempDir()
+	collectors := append([]Collector{textCollector("traces.json", `[{"id":"x"}]`)},
+		ProfileCollectors(30*time.Millisecond)...)
+	rec, err := NewRecorder(RecorderConfig{Dir: dir, MaxBundles: 4, Debounce: time.Hour}, collectors...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, started := rec.Trigger("manual", "drill", true)
+	if !started {
+		t.Fatal("manual trigger did not start a capture")
+	}
+	rec.Wait()
+	meta, ok := rec.Get(id)
+	if !ok || !meta.Complete {
+		t.Fatalf("bundle %s missing or incomplete: %+v", id, meta)
+	}
+	wantFiles := map[string]bool{"traces.json": false, "cpu.pprof": false,
+		"goroutine.pprof": false, "heap.pprof": false}
+	for _, f := range meta.Files {
+		if _, want := wantFiles[f.Name]; want {
+			wantFiles[f.Name] = f.Bytes > 0 && f.Error == ""
+		}
+	}
+	for name, good := range wantFiles {
+		if !good {
+			t.Errorf("bundle file %s missing, empty, or errored: %+v", name, meta.Files)
+		}
+	}
+	if p, ok := rec.FilePath(id, "traces.json"); !ok {
+		t.Error("FilePath failed for traces.json")
+	} else if raw, err := os.ReadFile(p); err != nil || string(raw) != `[{"id":"x"}]` {
+		t.Errorf("traces.json content wrong: %q, %v", raw, err)
+	}
+	if _, ok := rec.FilePath(id, "../escape"); ok {
+		t.Error("FilePath must refuse path traversal")
+	}
+}
+
+// TestFlightRecorderDebounceAndRing: automatic triggers are debounced,
+// manual ones are not, and the on-disk ring deletes the oldest bundle —
+// across a recorder restart too.
+func TestFlightRecorderDebounceAndRing(t *testing.T) {
+	dir := t.TempDir()
+	now := time.Unix(1_700_000_000, 0)
+	cfg := RecorderConfig{Dir: dir, MaxBundles: 2, Debounce: time.Minute,
+		Clock: func() time.Time { return now }}
+	rec, err := NewRecorder(cfg, textCollector("state.txt", "s"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstID, started := rec.Trigger("saturation", "burst", false)
+	if !started {
+		t.Fatal("first auto trigger should start")
+	}
+	rec.Wait()
+	if _, started := rec.Trigger("saturation", "burst", false); started {
+		t.Error("second auto trigger inside the debounce window must be skipped")
+	}
+	now = now.Add(30 * time.Second) // still inside the 1m debounce
+	if _, started := rec.Trigger("slo-page", "burn", false); started {
+		t.Error("auto trigger at +30s must still be debounced")
+	}
+	if _, started := rec.Trigger("manual", "drill", true); !started {
+		t.Fatal("manual trigger must bypass the debounce")
+	}
+	rec.Wait()
+	now = now.Add(2 * time.Minute)
+	if _, started := rec.Trigger("panic", "boom", false); !started {
+		t.Fatal("auto trigger after the debounce window should start")
+	}
+	rec.Wait()
+	list := rec.List()
+	if len(list) != 2 {
+		t.Fatalf("ring holds %d bundles, want 2", len(list))
+	}
+	if list[0].Trigger != "panic" || list[1].Trigger != "manual" {
+		t.Errorf("List order/pruning wrong: %s, %s", list[0].Trigger, list[1].Trigger)
+	}
+	if _, err := os.Stat(dir + "/" + firstID); !os.IsNotExist(err) {
+		t.Errorf("pruned bundle %s still on disk", firstID)
+	}
+	// A fresh recorder over the same directory re-indexes surviving bundles.
+	rec2, err := NewRecorder(cfg, textCollector("state.txt", "s"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rec2.List(); len(got) != 2 || !got[0].Complete {
+		t.Errorf("restarted recorder lost bundles: %+v", got)
+	}
+}

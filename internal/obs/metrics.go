@@ -15,6 +15,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Counter is a monotonically non-decreasing float64, safe for concurrent
@@ -51,6 +52,19 @@ type Histogram struct {
 	buckets []atomic.Uint64
 	count   atomic.Uint64
 	sumBits atomic.Uint64
+	// exemplars holds the latest traced observation per bucket (nil when the
+	// bucket has never seen a traced observation) — the OpenMetrics exemplar
+	// each bucket line can carry, linking the latency distribution back to a
+	// concrete trace in /v1/traces.
+	exemplars []atomic.Pointer[Exemplar]
+}
+
+// Exemplar ties one observation to the trace that produced it; /metrics
+// emits it in OpenMetrics exemplar syntax when the scraper negotiates it.
+type Exemplar struct {
+	Value   float64
+	TraceID string
+	Time    time.Time
 }
 
 // LogBuckets returns n ascending bucket bounds starting at start, each ratio
@@ -80,15 +94,24 @@ func newHistogram(bounds []float64) *Histogram {
 			panic("obs: histogram bounds must be strictly ascending")
 		}
 	}
-	return &Histogram{bounds: bounds, buckets: make([]atomic.Uint64, len(bounds)+1)}
+	return &Histogram{bounds: bounds, buckets: make([]atomic.Uint64, len(bounds)+1),
+		exemplars: make([]atomic.Pointer[Exemplar], len(bounds)+1)}
 }
 
 // Observe records one value.
-func (h *Histogram) Observe(v float64) {
+func (h *Histogram) Observe(v float64) { h.ObserveExemplar(v, "") }
+
+// ObserveExemplar records one value and, when traceID is non-empty, stores it
+// as the owning bucket's exemplar (latest wins). An empty traceID is exactly
+// Observe — the exemplar path costs one atomic store only when traced.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
 	// Binary search for the first bound >= v; the extra slot is +Inf.
 	i := sort.SearchFloat64s(h.bounds, v)
 	h.buckets[i].Add(1)
 	h.count.Add(1)
+	if traceID != "" {
+		h.exemplars[i].Store(&Exemplar{Value: v, TraceID: traceID, Time: time.Now()})
+	}
 	for {
 		old := h.sumBits.Load()
 		next := math.Float64bits(math.Float64frombits(old) + v)
@@ -104,6 +127,9 @@ type HistSnapshot struct {
 	Buckets []uint64  // len(Bounds)+1, non-cumulative counts
 	Count   uint64
 	Sum     float64
+	// Exemplars holds the latest traced observation per bucket; entries are
+	// nil for buckets that never saw one.
+	Exemplars []*Exemplar
 }
 
 // Snapshot copies the histogram state. Concurrent observers may land between
@@ -111,15 +137,32 @@ type HistSnapshot struct {
 // snapshot internally consistent.
 func (h *Histogram) Snapshot() HistSnapshot {
 	s := HistSnapshot{
-		Bounds:  h.bounds,
-		Buckets: make([]uint64, len(h.buckets)),
-		Sum:     math.Float64frombits(h.sumBits.Load()),
+		Bounds:    h.bounds,
+		Buckets:   make([]uint64, len(h.buckets)),
+		Sum:       math.Float64frombits(h.sumBits.Load()),
+		Exemplars: make([]*Exemplar, len(h.buckets)),
 	}
 	for i := range h.buckets {
 		s.Buckets[i] = h.buckets[i].Load()
 		s.Count += s.Buckets[i]
+		s.Exemplars[i] = h.exemplars[i].Load()
 	}
 	return s
+}
+
+// CountLE returns how many observations landed in buckets whose upper bound
+// is at most v — the "good" count of a latency-attainment SLO with threshold
+// v. Thresholds should sit on bucket bounds; a threshold inside a bucket
+// undercounts by at most that bucket (the conservative direction for an SLO).
+func (s HistSnapshot) CountLE(v float64) uint64 {
+	var n uint64
+	for i, bound := range s.Bounds {
+		if bound > v {
+			break
+		}
+		n += s.Buckets[i]
+	}
+	return n
 }
 
 // Quantile estimates the q-quantile (q in [0,1]) by linear interpolation
@@ -251,6 +294,32 @@ func (v *CounterVec) With(labelValues ...string) *Counter {
 	return v.f.get(labelValues, func() *series { return &series{counter: &Counter{}} }).counter
 }
 
+// Each calls fn for every labelled counter in creation order.
+func (v *CounterVec) Each(fn func(labelValues []string, c *Counter)) {
+	v.f.mu.RLock()
+	keys := append([]string(nil), v.f.order...)
+	v.f.mu.RUnlock()
+	for _, k := range keys {
+		v.f.mu.RLock()
+		s := v.f.series[k]
+		v.f.mu.RUnlock()
+		fn(s.labelValues, s.counter)
+	}
+}
+
+// FuncVec is a family of scrape-time-computed series keyed by label values
+// (either counter- or gauge-typed, fixed at registration).
+type FuncVec struct{ f *family }
+
+// Register installs fn as the value source for the given label values.
+// Re-registering the same label set replaces the function.
+func (v *FuncVec) Register(fn func() float64, labelValues ...string) {
+	s := v.f.get(labelValues, func() *series { return &series{} })
+	v.f.mu.Lock()
+	s.gaugeFn = fn
+	v.f.mu.Unlock()
+}
+
 // HistogramVec is a family of histograms keyed by label values.
 type HistogramVec struct{ f *family }
 
@@ -323,6 +392,33 @@ func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
 	f := &family{name: name, help: help, kind: kindGauge}
 	r.register(f)
 	f.get(nil, func() *series { return &series{gaugeFn: fn} })
+}
+
+// GaugeFuncVec registers a gauge family whose labelled series are computed at
+// scrape time (see FuncVec.Register).
+func (r *Registry) GaugeFuncVec(name, help string, labelNames ...string) *FuncVec {
+	f := &family{name: name, help: help, kind: kindGauge, labelNames: labelNames}
+	r.register(f)
+	return &FuncVec{f: f}
+}
+
+// CounterFunc registers a counter whose value is computed at scrape time —
+// for totals that already live elsewhere (e.g. a ring buffer's eviction
+// count) and would drift if mirrored into a second counter. fn must be
+// monotonically non-decreasing.
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	f := &family{name: name, help: help, kind: kindCounter}
+	r.register(f)
+	f.get(nil, func() *series { return &series{gaugeFn: fn} })
+}
+
+// CounterFuncVec registers a counter family whose labelled series are
+// computed at scrape time (see FuncVec.Register); each fn must be
+// monotonically non-decreasing.
+func (r *Registry) CounterFuncVec(name, help string, labelNames ...string) *FuncVec {
+	f := &family{name: name, help: help, kind: kindCounter, labelNames: labelNames}
+	r.register(f)
+	return &FuncVec{f: f}
 }
 
 // Histogram registers and returns a label-less histogram (nil bounds =

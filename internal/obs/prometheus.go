@@ -14,25 +14,38 @@ import (
 // _bucket/_sum/_count triplet plus three derived gauge families
 // (<name>_p50/_p90/_p99) so collectors that cannot run histogram_quantile —
 // and humans curling /metrics — still see the percentiles directly.
-func (r *Registry) WritePrometheus(w io.Writer) error {
+func (r *Registry) WritePrometheus(w io.Writer) error { return r.write(w, false) }
+
+// WriteOpenMetrics renders the same families with OpenMetrics extensions:
+// histogram bucket lines carry trace-ID exemplars (` # {trace_id="…"} value
+// timestamp`) and the output ends with the `# EOF` marker. /metrics serves
+// this when the scraper negotiates `Accept: application/openmetrics-text`.
+func (r *Registry) WriteOpenMetrics(w io.Writer) error { return r.write(w, true) }
+
+func (r *Registry) write(w io.Writer, exemplars bool) error {
 	r.mu.Lock()
 	families := append([]*family(nil), r.families...)
 	r.mu.Unlock()
 	bw := bufio.NewWriter(w)
 	for _, f := range families {
-		if err := writeFamily(bw, f); err != nil {
+		if err := writeFamily(bw, f, exemplars); err != nil {
 			return err
 		}
+	}
+	if exemplars {
+		fmt.Fprintln(bw, "# EOF")
 	}
 	return bw.Flush()
 }
 
-func writeFamily(w *bufio.Writer, f *family) error {
+func writeFamily(w *bufio.Writer, f *family, exemplars bool) error {
 	f.mu.RLock()
 	keys := append([]string(nil), f.order...)
 	sers := make([]*series, len(keys))
+	fns := make([]func() float64, len(keys))
 	for i, k := range keys {
 		sers[i] = f.series[k]
+		fns[i] = f.series[k].gaugeFn // copied under the lock: FuncVec may swap it
 	}
 	f.mu.RUnlock()
 	if len(sers) == 0 {
@@ -43,13 +56,24 @@ func writeFamily(w *bufio.Writer, f *family) error {
 		labels string
 		q      Quantiles
 	}
-	for _, s := range sers {
+	for si, s := range sers {
 		labels := formatLabels(f.labelNames, s.labelValues)
 		switch f.kind {
 		case kindCounter:
-			sample(w, f.name, labels, s.counter.Value())
+			v := 0.0
+			switch {
+			case fns[si] != nil: // scrape-time-computed counter (CounterFunc*)
+				v = fns[si]()
+			case s.counter != nil:
+				v = s.counter.Value()
+			}
+			sample(w, f.name, labels, v)
 		case kindGauge:
-			sample(w, f.name, labels, s.gaugeFn())
+			v := 0.0
+			if fns[si] != nil {
+				v = fns[si]()
+			}
+			sample(w, f.name, labels, v)
 		case kindHistogram:
 			snap := s.hist.Snapshot()
 			cum := uint64(0)
@@ -59,7 +83,15 @@ func writeFamily(w *bufio.Writer, f *family) error {
 				if i < len(snap.Bounds) {
 					le = formatFloat(snap.Bounds[i])
 				}
-				sample(w, f.name+"_bucket", addLabel(labels, "le", le), float64(cum))
+				if exemplars && snap.Exemplars[i] != nil {
+					ex := snap.Exemplars[i]
+					fmt.Fprintf(w, "%s%s %s # {trace_id=\"%s\"} %s %.3f\n",
+						f.name+"_bucket", addLabel(labels, "le", le), formatFloat(float64(cum)),
+						escapeLabelValue(ex.TraceID), formatFloat(ex.Value),
+						float64(ex.Time.UnixNano())/1e9)
+				} else {
+					sample(w, f.name+"_bucket", addLabel(labels, "le", le), float64(cum))
+				}
 			}
 			sample(w, f.name+"_sum", labels, snap.Sum)
 			sample(w, f.name+"_count", labels, float64(snap.Count))
@@ -185,6 +217,10 @@ func validLabelName(s string) bool {
 // sample belongs to a family declared by a preceding # TYPE line (accounting
 // for the _bucket/_sum/_count suffixes of histograms and _count/quantile of
 // summaries), and that histogram _bucket series are cumulative in le order.
+// OpenMetrics extensions are validated too: a `# EOF` marker must be the last
+// content, and bucket-line exemplars must carry a well-formed label set with
+// a valid trace_id, a float value no greater than the bucket's le bound, and
+// a float timestamp. Exemplars anywhere but a histogram bucket are rejected.
 // The CI smoke job and the obs tests both gate /metrics output through it.
 func ParseExposition(r io.Reader) (int, error) {
 	sc := bufio.NewScanner(r)
@@ -192,12 +228,20 @@ func ParseExposition(r io.Reader) (int, error) {
 	types := map[string]string{}
 	samples := 0
 	lineNo := 0
+	sawEOF := false
 	var lastBucketSeries string
 	var lastBucketCum float64
 	for sc.Scan() {
 		lineNo++
 		line := sc.Text()
 		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if sawEOF {
+			return samples, fmt.Errorf("line %d: content after # EOF", lineNo)
+		}
+		if strings.TrimRight(line, " ") == "# EOF" {
+			sawEOF = true
 			continue
 		}
 		if strings.HasPrefix(line, "#") {
@@ -232,7 +276,7 @@ func ParseExposition(r io.Reader) (int, error) {
 			}
 			continue
 		}
-		name, labels, value, err := parseSample(line)
+		name, labels, value, ex, err := parseSample(line)
 		if err != nil {
 			return samples, fmt.Errorf("line %d: %v", lineNo, err)
 		}
@@ -240,7 +284,16 @@ func ParseExposition(r io.Reader) (int, error) {
 		if !ok {
 			return samples, fmt.Errorf("line %d: sample %q has no preceding # TYPE declaration", lineNo, name)
 		}
-		if strings.HasSuffix(name, "_bucket") && types[fam] == "histogram" {
+		isBucket := strings.HasSuffix(name, "_bucket") && types[fam] == "histogram"
+		if ex != nil {
+			if !isBucket {
+				return samples, fmt.Errorf("line %d: exemplar on non-bucket sample %q", lineNo, name)
+			}
+			if err := verifyExemplar(ex, labels["le"]); err != nil {
+				return samples, fmt.Errorf("line %d: %v", lineNo, err)
+			}
+		}
+		if isBucket {
 			series := fam + "|" + labelsWithout(labels, "le")
 			if series == lastBucketSeries && value < lastBucketCum {
 				return samples, fmt.Errorf("line %d: histogram %s buckets not cumulative", lineNo, fam)
@@ -278,8 +331,16 @@ func resolveFamily(types map[string]string, name string) (string, bool) {
 	return "", false
 }
 
-// parseSample splits `name{labels} value [timestamp]`, validating each part.
-func parseSample(line string) (name string, labels map[string]string, value float64, err error) {
+// exemplarSample is a parsed OpenMetrics exemplar suffix on a bucket line.
+type exemplarSample struct {
+	labels map[string]string
+	value  float64
+}
+
+// parseSample splits `name{labels} value [timestamp] [# {exlabels} exvalue
+// [extimestamp]]`, validating each part. The exemplar suffix, when present,
+// is returned for the caller to verify in family context.
+func parseSample(line string) (name string, labels map[string]string, value float64, ex *exemplarSample, err error) {
 	labels = map[string]string{}
 	i := 0
 	for i < len(line) && line[i] != '{' && line[i] != ' ' {
@@ -287,47 +348,108 @@ func parseSample(line string) (name string, labels map[string]string, value floa
 	}
 	name = line[:i]
 	if !validMetricName(name) {
-		return "", nil, 0, fmt.Errorf("invalid metric name %q", name)
+		return "", nil, 0, nil, fmt.Errorf("invalid metric name %q", name)
 	}
 	rest := line[i:]
 	if strings.HasPrefix(rest, "{") {
-		end := -1
-		inQuote := false
-		for j := 1; j < len(rest); j++ {
-			switch {
-			case inQuote && rest[j] == '\\':
-				j++
-			case rest[j] == '"':
-				inQuote = !inQuote
-			case !inQuote && rest[j] == '}':
-				end = j
+		body, tail, err := splitLabelSet(rest)
+		if err != nil {
+			return "", nil, 0, nil, err
+		}
+		if err := parseLabels(body, labels); err != nil {
+			return "", nil, 0, nil, err
+		}
+		rest = tail
+	}
+	// Label values were consumed above, so a " # " in rest can only be the
+	// exemplar separator.
+	if sep := strings.Index(rest, " # "); sep >= 0 {
+		ex = &exemplarSample{labels: map[string]string{}}
+		exRaw := strings.TrimSpace(rest[sep+3:])
+		rest = rest[:sep]
+		if !strings.HasPrefix(exRaw, "{") {
+			return "", nil, 0, nil, fmt.Errorf("exemplar missing label set in %q", exRaw)
+		}
+		body, tail, err := splitLabelSet(exRaw)
+		if err != nil {
+			return "", nil, 0, nil, fmt.Errorf("exemplar: %v", err)
+		}
+		if err := parseLabels(body, ex.labels); err != nil {
+			return "", nil, 0, nil, fmt.Errorf("exemplar: %v", err)
+		}
+		exFields := strings.Fields(tail)
+		if len(exFields) < 1 || len(exFields) > 2 {
+			return "", nil, 0, nil, fmt.Errorf("exemplar expected value [timestamp], got %q", tail)
+		}
+		ex.value, err = strconv.ParseFloat(exFields[0], 64)
+		if err != nil {
+			return "", nil, 0, nil, fmt.Errorf("bad exemplar value %q", exFields[0])
+		}
+		if len(exFields) == 2 {
+			if _, err := strconv.ParseFloat(exFields[1], 64); err != nil {
+				return "", nil, 0, nil, fmt.Errorf("bad exemplar timestamp %q", exFields[1])
 			}
-			if end >= 0 {
-				break
-			}
 		}
-		if end < 0 {
-			return "", nil, 0, fmt.Errorf("unterminated label set")
-		}
-		if err := parseLabels(rest[1:end], labels); err != nil {
-			return "", nil, 0, err
-		}
-		rest = rest[end+1:]
 	}
 	fields := strings.Fields(rest)
 	if len(fields) < 1 || len(fields) > 2 {
-		return "", nil, 0, fmt.Errorf("expected value [timestamp], got %q", rest)
+		return "", nil, 0, nil, fmt.Errorf("expected value [timestamp], got %q", rest)
 	}
 	value, err = strconv.ParseFloat(fields[0], 64)
 	if err != nil {
-		return "", nil, 0, fmt.Errorf("bad sample value %q", fields[0])
+		return "", nil, 0, nil, fmt.Errorf("bad sample value %q", fields[0])
 	}
 	if len(fields) == 2 {
 		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
-			return "", nil, 0, fmt.Errorf("bad timestamp %q", fields[1])
+			return "", nil, 0, nil, fmt.Errorf("bad timestamp %q", fields[1])
 		}
 	}
-	return name, labels, value, nil
+	return name, labels, value, ex, nil
+}
+
+// splitLabelSet consumes a leading quote-aware `{...}` block, returning the
+// body between the braces and everything after the closing brace.
+func splitLabelSet(s string) (body, tail string, err error) {
+	end := -1
+	inQuote := false
+	for j := 1; j < len(s); j++ {
+		switch {
+		case inQuote && s[j] == '\\':
+			j++
+		case s[j] == '"':
+			inQuote = !inQuote
+		case !inQuote && s[j] == '}':
+			end = j
+		}
+		if end >= 0 {
+			break
+		}
+	}
+	if end < 0 {
+		return "", "", fmt.Errorf("unterminated label set")
+	}
+	return s[1:end], s[end+1:], nil
+}
+
+// verifyExemplar checks the semantic constraints on a bucket exemplar: a
+// valid trace_id label and a value that actually belongs in the bucket
+// (value <= le).
+func verifyExemplar(ex *exemplarSample, le string) error {
+	id, ok := ex.labels["trace_id"]
+	if !ok {
+		return fmt.Errorf("exemplar missing trace_id label")
+	}
+	if !ValidTraceID(id) {
+		return fmt.Errorf("exemplar trace_id %q is not a valid trace ID", id)
+	}
+	bound, err := strconv.ParseFloat(le, 64)
+	if err != nil {
+		return fmt.Errorf("bucket with exemplar has unparsable le %q", le)
+	}
+	if ex.value > bound {
+		return fmt.Errorf("exemplar value %v exceeds bucket le %v", ex.value, bound)
+	}
+	return nil
 }
 
 func parseLabels(s string, out map[string]string) error {

@@ -1,0 +1,215 @@
+package slo
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"atomique/internal/obs"
+)
+
+// testFeed is a synthetic cumulative counter feed driven tick by tick.
+type testFeed struct {
+	now         time.Time
+	good, total float64
+	events      []Event
+	eng         *Engine
+}
+
+func newTestFeed(t *testing.T, cfg Config) *testFeed {
+	t.Helper()
+	f := &testFeed{now: time.Unix(1_700_000_000, 0)}
+	f.eng = New(cfg, func(Objective) (float64, float64) { return f.good, f.total },
+		WithClock(func() time.Time { return f.now }),
+		WithOnEvent(func(ev Event) { f.events = append(f.events, ev) }))
+	f.eng.Tick() // baseline sample at t0
+	return f
+}
+
+// step advances one 10s interval with dGood good requests out of dTotal.
+func (f *testFeed) step(dGood, dTotal float64) {
+	f.now = f.now.Add(10 * time.Second)
+	f.good += dGood
+	f.total += dTotal
+	f.eng.Tick()
+}
+
+func (f *testFeed) state(t *testing.T) string {
+	t.Helper()
+	st := f.eng.Status()
+	if len(st) != 1 {
+		t.Fatalf("expected 1 objective status, got %d", len(st))
+	}
+	return st[0].State
+}
+
+// TestSLOHealthyPageRecovery drives an availability objective through
+// healthy -> error storm (page) -> partial recovery (warn) -> full recovery
+// (ok) with an injected clock — hours of burn, zero wall-clock sleeps.
+func TestSLOHealthyPageRecovery(t *testing.T) {
+	cfg := Config{IntervalSeconds: 10, Objectives: []Objective{{
+		Name: "avail", Class: "compile", Target: 0.99,
+		Page: Rule{ShortSeconds: 60, LongSeconds: 300, Burn: 10},
+		Warn: Rule{ShortSeconds: 300, LongSeconds: 600, Burn: 2},
+	}}}
+	f := newTestFeed(t, cfg)
+
+	// 10 minutes of clean traffic: no burn, no events.
+	for i := 0; i < 60; i++ {
+		f.step(100, 100)
+	}
+	if got := f.state(t); got != "ok" {
+		t.Fatalf("healthy state = %s, want ok", got)
+	}
+	if len(f.events) != 0 {
+		t.Fatalf("healthy run emitted events: %+v", f.events)
+	}
+
+	// Error storm: 50%% failures. Budget is 1%%, so the 60s window burns at
+	// 50x; after 2 minutes the 300s window carries 1200 bad of 3000+ total
+	// (>10x) — both page windows fire.
+	for i := 0; i < 12; i++ {
+		f.step(50, 100)
+	}
+	if got := f.state(t); got != "page" {
+		t.Fatalf("storm state = %s, want page", got)
+	}
+	if len(f.events) == 0 || f.events[len(f.events)-1].To != StatePage {
+		t.Fatalf("expected a transition-to-page event, got %+v", f.events)
+	}
+
+	// Traffic heals: the 60s page window clears within 7 ticks, so paging
+	// stops, but the storm still sits inside both warn windows.
+	for i := 0; i < 7; i++ {
+		f.step(100, 100)
+	}
+	if got := f.state(t); got != "warn" {
+		t.Fatalf("early-recovery state = %s, want warn", got)
+	}
+
+	// Ten more clean minutes push the storm out of the 600s warn window.
+	for i := 0; i < 60; i++ {
+		f.step(100, 100)
+	}
+	if got := f.state(t); got != "ok" {
+		t.Fatalf("recovered state = %s, want ok", got)
+	}
+	var transitions []State
+	for _, ev := range f.events {
+		transitions = append(transitions, ev.To)
+	}
+	// The storm escalates warn -> page (the warn rule's lower threshold
+	// fires a tick or two earlier), then de-escalates page -> warn -> ok.
+	want := []State{StateWarn, StatePage, StateWarn, StateOK}
+	if len(transitions) != len(want) {
+		t.Fatalf("transitions = %v, want %v", transitions, want)
+	}
+	for i := range want {
+		if transitions[i] != want[i] {
+			t.Fatalf("transitions = %v, want %v", transitions, want)
+		}
+	}
+	if f.eng.WorstState() != StateOK {
+		t.Errorf("WorstState = %v, want ok", f.eng.WorstState())
+	}
+}
+
+// TestSLOWindowClampAtBoot: a freshly booted engine clamps windows to the
+// history it holds, so a drill (or real incident) minutes after boot still
+// pages instead of waiting an hour for the long window to fill.
+func TestSLOWindowClampAtBoot(t *testing.T) {
+	cfg := Config{IntervalSeconds: 10, Objectives: []Objective{{
+		Name: "avail", Class: "compile", Target: 0.999,
+		// Default-scale windows: 5m/1h page at 14.4x.
+	}}}
+	f := newTestFeed(t, cfg)
+	for i := 0; i < 3; i++ {
+		f.step(50, 100) // 50% errors vs a 0.1% budget: 500x burn
+	}
+	if got := f.state(t); got != "page" {
+		t.Fatalf("boot-time storm state = %s, want page", got)
+	}
+}
+
+// TestSLONoTraffic: windows with no traffic burn nothing.
+func TestSLONoTraffic(t *testing.T) {
+	f := newTestFeed(t, Config{IntervalSeconds: 10, Objectives: []Objective{{
+		Name: "avail", Class: "compile", Target: 0.99,
+	}}})
+	for i := 0; i < 10; i++ {
+		f.step(0, 0)
+	}
+	if got := f.state(t); got != "ok" {
+		t.Fatalf("idle state = %s, want ok", got)
+	}
+	st := f.eng.Status()[0]
+	for _, w := range st.Windows {
+		if w.Burn != 0 {
+			t.Errorf("idle burn %s = %v, want 0", w.Window, w.Burn)
+		}
+	}
+}
+
+// TestSLOConfigValidation: ParseConfig fills defaults and rejects bad input.
+func TestSLOConfigValidation(t *testing.T) {
+	cfg, err := ParseConfig([]byte(`{"objectives":[{"name":"a","class":"compile","target":0.99}]}`))
+	if err != nil {
+		t.Fatalf("minimal config rejected: %v", err)
+	}
+	if cfg.IntervalSeconds != 10 {
+		t.Errorf("default interval = %v, want 10", cfg.IntervalSeconds)
+	}
+	if cfg.Objectives[0].Page != DefaultPageRule() || cfg.Objectives[0].Warn != DefaultWarnRule() {
+		t.Errorf("default rules not filled: %+v", cfg.Objectives[0])
+	}
+	for name, raw := range map[string]string{
+		"no-objectives": `{"objectives":[]}`,
+		"bad-target":    `{"objectives":[{"name":"a","class":"c","target":1.5}]}`,
+		"zero-target":   `{"objectives":[{"name":"a","class":"c","target":0}]}`,
+		"no-name":       `{"objectives":[{"class":"c","target":0.9}]}`,
+		"dup-name":      `{"objectives":[{"name":"a","class":"c","target":0.9},{"name":"a","class":"c","target":0.9}]}`,
+		"bad-rule":      `{"objectives":[{"name":"a","class":"c","target":0.9,"page":{"shortSeconds":60,"longSeconds":30,"burn":2}}]}`,
+		"bad-json":      `{`,
+	} {
+		if _, err := ParseConfig([]byte(raw)); err == nil {
+			t.Errorf("%s: config accepted", name)
+		}
+	}
+	def := DefaultConfig([]string{"compile", "simulate"})
+	if err := def.Normalize(); err != nil {
+		t.Errorf("DefaultConfig invalid: %v", err)
+	}
+	if len(def.Objectives) != 4 {
+		t.Errorf("DefaultConfig objectives = %d, want 4", len(def.Objectives))
+	}
+}
+
+// TestSLOMetricsRegister: the engine's scrape-time metrics render and parse.
+func TestSLOMetricsRegister(t *testing.T) {
+	f := newTestFeed(t, Config{IntervalSeconds: 10, Objectives: []Objective{{
+		Name: "compile-availability", Class: "compile", Target: 0.99,
+	}}})
+	reg := obs.NewRegistry()
+	f.eng.Register(reg)
+	for i := 0; i < 3; i++ {
+		f.step(100, 100)
+	}
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`atomique_slo_state{objective="compile-availability"} 0`,
+		`atomique_slo_burn_rate{objective="compile-availability",window="pageShort"} 0`,
+		`atomique_slo_target{objective="compile-availability"} 0.99`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %q\n---\n%s", want, out)
+		}
+	}
+	if _, err := obs.ParseExposition(strings.NewReader(out)); err != nil {
+		t.Fatalf("ParseExposition rejected SLO metrics: %v", err)
+	}
+}

@@ -6,6 +6,8 @@ import (
 	"encoding/hex"
 	"fmt"
 	"io"
+	"math"
+	mrand "math/rand/v2"
 	"sort"
 	"strings"
 	"sync"
@@ -250,44 +252,129 @@ func TraceIDFromContext(ctx context.Context) string {
 	return id
 }
 
-// TraceStore is a bounded ring buffer of finished traces, newest-first over
-// Recent; GET /v1/traces serves it. When full, adding evicts the oldest.
+// traceEntry pairs a stored trace with a global insertion sequence number so
+// the two retention segments can be merged newest-first.
+type traceEntry struct {
+	t   *Trace
+	seq uint64
+}
+
+// traceRing is a fixed-capacity FIFO of traceEntry; inserting over a live
+// slot returns the evicted trace.
+type traceRing struct {
+	buf  []traceEntry
+	next int
+}
+
+func (r *traceRing) add(t *Trace, seq uint64) (evicted *Trace) {
+	evicted = r.buf[r.next].t
+	r.buf[r.next] = traceEntry{t: t, seq: seq}
+	r.next = (r.next + 1) % len(r.buf)
+	return evicted
+}
+
+// TraceStoreStats is the retention ledger /v1/stats and the
+// atomique_traces_* metrics surface: without it, eviction of the one
+// interesting trace is silent.
+type TraceStoreStats struct {
+	Adds           uint64 `json:"adds"`           // traces offered (pinned + sampled + sampled-out)
+	Pins           uint64 `json:"pins"`           // traces that entered the pinned segment
+	SampledOut     uint64 `json:"sampledOut"`     // fast successes dropped by the sampling coin
+	EvictedSampled uint64 `json:"evictedSampled"` // ring churn in the sampled segment
+	EvictedPinned  uint64 `json:"evictedPinned"`  // ring churn in the pinned segment
+	Stored         int    `json:"stored"`         // traces currently held (both segments)
+	PinnedStored   int    `json:"pinnedStored"`   // traces currently held in the pinned segment
+}
+
+// TraceStore holds finished traces with tiered retention. The capacity is
+// split into a pinned segment (roughly a quarter, min 1) reserved for traces
+// the caller marks interesting — errors, sheds, overload rejections, slow
+// tail — and a sampled segment for ordinary successes, which AddPinned
+// traffic can never evict. A FIFO ring would let a burst of healthy traffic
+// flush the one failed trace an operator needs; here the failure survives
+// until enough *failures* arrive to age it out. GET /v1/traces merges both
+// segments newest-first.
 type TraceStore struct {
-	mu    sync.Mutex
-	buf   []*Trace
-	next  int
-	byID  map[string]*Trace
-	adds  uint64
-	evict uint64
+	mu      sync.Mutex
+	sampled traceRing
+	pinned  traceRing
+	byID    map[string]*Trace
+	seq     uint64
+	rate    float64 // admission probability for Add (1 = keep everything)
+	rnd     func() float64
+	stats   TraceStoreStats
 }
 
-// NewTraceStore returns a store keeping up to capacity traces (min 1).
+// NewTraceStore returns a store keeping up to capacity traces (min 2: one
+// pinned slot + one sampled slot), sampling rate 1.
 func NewTraceStore(capacity int) *TraceStore {
-	if capacity < 1 {
-		capacity = 1
+	if capacity < 2 {
+		capacity = 2
 	}
-	return &TraceStore{buf: make([]*Trace, capacity), byID: make(map[string]*Trace, capacity)}
+	pinnedCap := capacity / 4
+	if pinnedCap < 1 {
+		pinnedCap = 1
+	}
+	return &TraceStore{
+		sampled: traceRing{buf: make([]traceEntry, capacity-pinnedCap)},
+		pinned:  traceRing{buf: make([]traceEntry, pinnedCap)},
+		byID:    make(map[string]*Trace, capacity),
+		rate:    1,
+		rnd:     mrand.Float64,
+	}
 }
 
-// Add inserts a finished trace, evicting the oldest when full. A re-used
-// trace ID replaces the older entry in the index (the ring slot of the old
-// entry still ages out normally).
+// SetSampleRate sets the probability (clamped to [0,1]) that Add keeps an
+// ordinary trace. AddPinned ignores the rate: interesting traces are always
+// kept.
+func (ts *TraceStore) SetSampleRate(p float64) {
+	ts.mu.Lock()
+	ts.rate = math.Min(1, math.Max(0, p))
+	ts.mu.Unlock()
+}
+
+// Add offers an ordinary (fast-success) trace; it is kept with the configured
+// sample probability and lands in the sampled segment.
 func (ts *TraceStore) Add(t *Trace) {
 	if t == nil {
 		return
 	}
 	ts.mu.Lock()
-	if old := ts.buf[ts.next]; old != nil {
-		ts.evict++
+	ts.stats.Adds++
+	if ts.rate < 1 && ts.rnd() >= ts.rate {
+		ts.stats.SampledOut++
+		ts.mu.Unlock()
+		return
+	}
+	ts.insert(&ts.sampled, t, &ts.stats.EvictedSampled)
+	ts.mu.Unlock()
+}
+
+// AddPinned stores an interesting trace (error/shed/overload/slow-tail) in
+// the reserved segment, bypassing the sampling coin.
+func (ts *TraceStore) AddPinned(t *Trace) {
+	if t == nil {
+		return
+	}
+	ts.mu.Lock()
+	ts.stats.Adds++
+	ts.stats.Pins++
+	ts.insert(&ts.pinned, t, &ts.stats.EvictedPinned)
+	ts.mu.Unlock()
+}
+
+// insert places t in ring, maintaining the ID index and the eviction
+// counter. A re-used trace ID replaces the older entry in the index (the
+// ring slot of the old entry still ages out normally). Caller holds ts.mu.
+func (ts *TraceStore) insert(ring *traceRing, t *Trace, evictCtr *uint64) {
+	ts.seq++
+	if old := ring.add(t, ts.seq); old != nil {
+		*evictCtr++
 		if ts.byID[old.ID] == old {
 			delete(ts.byID, old.ID)
 		}
 	}
-	ts.buf[ts.next] = t
 	ts.byID[t.ID] = t
-	ts.next = (ts.next + 1) % len(ts.buf)
-	ts.adds++
-	ts.mu.Unlock()
 }
 
 // Get returns the stored trace with the given ID.
@@ -298,40 +385,92 @@ func (ts *TraceStore) Get(id string) (*Trace, bool) {
 	return t, ok
 }
 
-// Recent returns up to n traces, newest first (n <= 0 means all stored).
+// Recent returns up to n traces across both segments, newest first (n <= 0
+// means all stored).
 func (ts *TraceStore) Recent(n int) []*Trace {
 	ts.mu.Lock()
-	defer ts.mu.Unlock()
-	size := len(ts.buf)
-	if n <= 0 || n > size {
-		n = size
+	entries := ts.liveEntries()
+	ts.mu.Unlock()
+	if n <= 0 || n > len(entries) {
+		n = len(entries)
 	}
 	out := make([]*Trace, 0, n)
-	for i := 1; i <= size && len(out) < n; i++ {
-		t := ts.buf[(ts.next-i+size)%size]
-		if t != nil {
-			out = append(out, t)
-		}
+	for _, e := range entries[:n] {
+		out = append(out, e.t)
 	}
 	return out
 }
 
-// Len returns the number of stored traces.
+// Pinned returns the pinned segment's traces, newest first — the set the
+// flight recorder snapshots into a diagnostic bundle.
+func (ts *TraceStore) Pinned() []*Trace {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	entries := make([]traceEntry, 0, len(ts.pinned.buf))
+	for _, e := range ts.pinned.buf {
+		if e.t != nil {
+			entries = append(entries, e)
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].seq > entries[j].seq })
+	out := make([]*Trace, len(entries))
+	for i, e := range entries {
+		out[i] = e.t
+	}
+	return out
+}
+
+// liveEntries returns all stored entries sorted newest-first. Caller holds
+// ts.mu.
+func (ts *TraceStore) liveEntries() []traceEntry {
+	entries := make([]traceEntry, 0, len(ts.sampled.buf)+len(ts.pinned.buf))
+	for _, e := range ts.sampled.buf {
+		if e.t != nil {
+			entries = append(entries, e)
+		}
+	}
+	for _, e := range ts.pinned.buf {
+		if e.t != nil {
+			entries = append(entries, e)
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].seq > entries[j].seq })
+	return entries
+}
+
+// Len returns the number of stored traces across both segments.
 func (ts *TraceStore) Len() int {
 	ts.mu.Lock()
 	defer ts.mu.Unlock()
 	n := 0
-	for _, t := range ts.buf {
-		if t != nil {
+	for _, e := range ts.sampled.buf {
+		if e.t != nil {
+			n++
+		}
+	}
+	for _, e := range ts.pinned.buf {
+		if e.t != nil {
 			n++
 		}
 	}
 	return n
 }
 
-// Stats reports lifetime adds and evictions (ring churn).
-func (ts *TraceStore) Stats() (adds, evictions uint64) {
+// Stats reports the retention ledger.
+func (ts *TraceStore) Stats() TraceStoreStats {
 	ts.mu.Lock()
 	defer ts.mu.Unlock()
-	return ts.adds, ts.evict
+	s := ts.stats
+	for _, e := range ts.sampled.buf {
+		if e.t != nil {
+			s.Stored++
+		}
+	}
+	for _, e := range ts.pinned.buf {
+		if e.t != nil {
+			s.Stored++
+			s.PinnedStored++
+		}
+	}
+	return s
 }

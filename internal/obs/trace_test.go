@@ -138,48 +138,93 @@ func TestMintTraceIDUnique(t *testing.T) {
 	}
 }
 
-func TestTraceStoreRing(t *testing.T) {
-	ts := NewTraceStore(3)
-	var ids []string
-	for i := 0; i < 5; i++ {
-		tr := NewTrace(fmt.Sprintf("id-%d", i), "job")
+func TestTraceStoreTiered(t *testing.T) {
+	// Capacity 4 splits into a 3-slot sampled ring and a 1-slot pinned ring.
+	ts := NewTraceStore(4)
+	add := func(id string, pinned bool) {
+		tr := NewTrace(id, "job")
 		tr.Root.End()
-		ts.Add(tr)
-		ids = append(ids, tr.ID)
+		if pinned {
+			ts.AddPinned(tr)
+		} else {
+			ts.Add(tr)
+		}
 	}
-	if ts.Len() != 3 {
-		t.Fatalf("len = %d, want 3", ts.Len())
+	for i := 0; i < 5; i++ {
+		add(fmt.Sprintf("id-%d", i), false)
 	}
-	// Oldest two evicted.
-	for _, id := range ids[:2] {
+	// Sampled FIFO: oldest two evicted, newest three retrievable.
+	for _, id := range []string{"id-0", "id-1"} {
 		if _, ok := ts.Get(id); ok {
 			t.Errorf("evicted trace %s still retrievable", id)
 		}
 	}
-	for _, id := range ids[2:] {
+	for _, id := range []string{"id-2", "id-3", "id-4"} {
 		if _, ok := ts.Get(id); !ok {
 			t.Errorf("trace %s missing", id)
 		}
 	}
-	recent := ts.Recent(0)
-	if len(recent) != 3 || recent[0].ID != "id-4" || recent[2].ID != "id-2" {
-		got := make([]string, len(recent))
-		for i, tr := range recent {
-			got[i] = tr.ID
-		}
-		t.Errorf("Recent order = %v, want [id-4 id-3 id-2]", got)
+	// A pinned trace survives any amount of ordinary churn.
+	add("pin-0", true)
+	for i := 5; i < 8; i++ {
+		add(fmt.Sprintf("id-%d", i), false)
 	}
-	if got := ts.Recent(1); len(got) != 1 || got[0].ID != "id-4" {
+	if _, ok := ts.Get("pin-0"); !ok {
+		t.Fatal("pinned trace evicted by sampled churn")
+	}
+	// But another pinned trace ages it out of the 1-slot reserve.
+	add("pin-1", true)
+	if _, ok := ts.Get("pin-0"); ok {
+		t.Error("pin-0 should have been evicted by pin-1")
+	}
+	recent := ts.Recent(0)
+	want := []string{"pin-1", "id-7", "id-6", "id-5"}
+	if len(recent) != len(want) {
+		t.Fatalf("Recent len = %d, want %d", len(recent), len(want))
+	}
+	for i, id := range want {
+		if recent[i].ID != id {
+			t.Errorf("Recent[%d] = %s, want %s", i, recent[i].ID, id)
+		}
+	}
+	if got := ts.Recent(1); len(got) != 1 || got[0].ID != "pin-1" {
 		t.Errorf("Recent(1) wrong: %v", got)
 	}
-	adds, evict := ts.Stats()
-	if adds != 5 || evict != 2 {
-		t.Errorf("stats = (%d, %d), want (5, 2)", adds, evict)
+	if pinned := ts.Pinned(); len(pinned) != 1 || pinned[0].ID != "pin-1" {
+		t.Errorf("Pinned() wrong: %v", pinned)
+	}
+	st := ts.Stats()
+	if st.Adds != 10 || st.Pins != 2 || st.EvictedSampled != 5 || st.EvictedPinned != 1 {
+		t.Errorf("stats = %+v, want adds=10 pins=2 evictedSampled=5 evictedPinned=1", st)
+	}
+	if st.Stored != 4 || st.PinnedStored != 1 || ts.Len() != 4 {
+		t.Errorf("occupancy = %+v len=%d, want stored=4 pinnedStored=1", st, ts.Len())
+	}
+}
+
+func TestTraceStoreSampling(t *testing.T) {
+	ts := NewTraceStore(8)
+	ts.SetSampleRate(0)
+	for i := 0; i < 10; i++ {
+		tr := NewTrace(fmt.Sprintf("s-%d", i), "job")
+		tr.Root.End()
+		ts.Add(tr)
+	}
+	pin := NewTrace("pin", "job")
+	pin.Root.End()
+	ts.AddPinned(pin)
+	st := ts.Stats()
+	if st.SampledOut != 10 || st.Stored != 1 || st.PinnedStored != 1 {
+		t.Errorf("rate-0 stats = %+v, want sampledOut=10 stored=1 pinnedStored=1", st)
+	}
+	if _, ok := ts.Get("pin"); !ok {
+		t.Error("pinned trace must bypass the sampling coin")
 	}
 }
 
 // TestTraceStoreConcurrent adds from many goroutines under -race.
 func TestTraceStoreConcurrent(t *testing.T) {
+	// Capacity 16 = 12 sampled + 4 pinned slots; both rings fill.
 	ts := NewTraceStore(16)
 	var wg sync.WaitGroup
 	for w := 0; w < 8; w++ {
@@ -190,8 +235,13 @@ func TestTraceStoreConcurrent(t *testing.T) {
 			for i := 0; i < 200; i++ {
 				tr := NewTrace(fmt.Sprintf("w%d-%d", w, i), "job")
 				tr.Root.End()
-				ts.Add(tr)
+				if i%50 == 0 {
+					ts.AddPinned(tr)
+				} else {
+					ts.Add(tr)
+				}
 				ts.Recent(4)
+				ts.Pinned()
 				ts.Get(tr.ID)
 			}
 		}()

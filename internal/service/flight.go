@@ -1,0 +1,109 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"time"
+
+	"atomique/internal/admission"
+	"atomique/internal/obs"
+	"atomique/internal/obs/slo"
+)
+
+// BundleConfig configures the flight recorder. An empty Dir disables it
+// (the /v1/debug/bundles endpoints answer 404).
+type BundleConfig struct {
+	// Dir is the on-disk bundle ring root.
+	Dir string
+	// MaxBundles bounds the ring (default 8; oldest bundles are deleted).
+	MaxBundles int
+	// Debounce spaces automatic captures (default 60s); manual triggers via
+	// POST /v1/debug/bundles bypass it.
+	Debounce time.Duration
+	// CPUProfile is the bundle's CPU-profile window (default 1s).
+	CPUProfile time.Duration
+}
+
+// jsonCollector captures one JSON-marshalable snapshot as a bundle file.
+func jsonCollector(name string, snap func() any) obs.Collector {
+	return obs.Collector{Name: name, Collect: func(_ context.Context, w *os.File) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(snap())
+	}}
+}
+
+// newRecorder builds the engine's flight recorder. Bundles open with the CPU
+// profile (so the state snapshots that follow observe the incident a second
+// further developed), then freeze the pinned traces — the errors, sheds, and
+// slow-tail outliers the tiered ring protected — next to the admission
+// controller's model, a full metrics dump, the engine stats, and the
+// resolved configuration.
+func newRecorder(e *Engine) (*obs.Recorder, error) {
+	cfg := e.cfg.Bundles
+	collectors := obs.ProfileCollectors(cfg.CPUProfile)
+	collectors = append(collectors,
+		jsonCollector("traces.json", func() any {
+			pinned := e.tel.traces.Pinned()
+			views := make([]traceView, len(pinned))
+			for i, tr := range pinned {
+				views[i] = traceViewOf(tr)
+			}
+			return views
+		}),
+		jsonCollector("admission.json", func() any {
+			out := struct {
+				Snapshot admission.Snapshot `json:"snapshot"`
+				Tick     *admission.Tick    `json:"tick,omitempty"`
+			}{Snapshot: e.AdmissionSample(), Tick: e.admTick.Load()}
+			return out
+		}),
+		jsonCollector("stats.json", func() any { return e.Stats() }),
+		jsonCollector("config.json", func() any { return e.resolvedConfig() }),
+		obs.Collector{Name: "metrics.prom", Collect: func(_ context.Context, w *os.File) error {
+			return e.tel.registry.WriteOpenMetrics(w)
+		}},
+	)
+	return obs.NewRecorder(obs.RecorderConfig{
+		Dir: cfg.Dir, MaxBundles: cfg.MaxBundles, Debounce: cfg.Debounce,
+	}, collectors...)
+}
+
+// resolvedConfig is the bundle's view of the engine configuration: every
+// operative knob, none of the unmarshalable plumbing (logger).
+func (e *Engine) resolvedConfig() any {
+	return struct {
+		Workers     int              `json:"workers"`
+		WorkersMin  int              `json:"workersMin"`
+		WorkersMax  int              `json:"workersMax"`
+		QueueSize   int              `json:"queueSize"`
+		CacheSize   int              `json:"cacheSize"`
+		TraceBuffer int              `json:"traceBuffer"`
+		TraceSample float64          `json:"traceSample"`
+		Admission   admission.Config `json:"admission"`
+		SLO         slo.Config       `json:"slo"`
+		BundleDir   string           `json:"bundleDir"`
+		MaxBundles  int              `json:"maxBundles"`
+	}{
+		Workers: e.cfg.Workers, WorkersMin: e.cfg.WorkersMin, WorkersMax: e.cfg.WorkersMax,
+		QueueSize: e.cfg.QueueSize, CacheSize: e.cfg.CacheSize,
+		TraceBuffer: e.cfg.TraceBuffer, TraceSample: e.cfg.TraceSample,
+		Admission: e.cfg.Admission, SLO: e.cfg.SLO,
+		BundleDir: e.cfg.Bundles.Dir, MaxBundles: e.cfg.Bundles.MaxBundles,
+	}
+}
+
+// triggerBundle asks the flight recorder for a capture; a nil recorder
+// (bundles disabled) makes every trigger a no-op. The capture itself runs
+// asynchronously, so SLO callbacks and panic paths return immediately.
+func (e *Engine) triggerBundle(trigger, reason string, manual bool) (string, bool) {
+	if e.recorder == nil {
+		return "", false
+	}
+	id, started := e.recorder.Trigger(trigger, reason, manual)
+	if started {
+		e.tel.log.Warn("flight recorder capture", "bundle", id, "trigger", trigger, "reason", reason)
+	}
+	return id, started
+}

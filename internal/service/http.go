@@ -7,11 +7,13 @@ import (
 	"math"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"atomique/internal/bench"
 	"atomique/internal/compiler"
 	"atomique/internal/obs"
+	"atomique/internal/obs/slo"
 )
 
 // maxBodyBytes bounds request bodies (inline QASM included).
@@ -70,7 +72,13 @@ const DefaultSimulateShots = 1024
 //	GET    /v1/stats             queue/worker/cache counters
 //	GET    /v1/traces            recent request traces (?limit=N)
 //	GET    /v1/traces/{id}       one trace by ID
-//	GET    /metrics              Prometheus text exposition
+//	GET    /v1/slo               burn-rate state of every objective
+//	GET    /v1/debug/bundles     flight-recorder bundle manifests
+//	POST   /v1/debug/bundles     trigger a manual bundle capture (?reason=...)
+//	GET    /v1/debug/bundles/{id}        one bundle manifest
+//	GET    /v1/debug/bundles/{id}/{file} download one bundle file
+//	GET    /metrics              Prometheus text exposition (OpenMetrics with
+//	                             exemplars when Accept asks for it)
 //
 // Every request passes through the trace middleware: an X-Trace-Id request
 // header (when valid) names the job's trace, compile responses echo the
@@ -90,15 +98,27 @@ func (e *Engine) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/stats", e.handleStats)
 	mux.HandleFunc("GET /v1/traces", e.handleTraces)
 	mux.HandleFunc("GET /v1/traces/{id}", e.handleTraceGet)
+	mux.HandleFunc("GET /v1/slo", e.handleSLO)
+	mux.HandleFunc("GET /v1/debug/bundles", e.handleBundleList)
+	mux.HandleFunc("POST /v1/debug/bundles", e.handleBundleTrigger)
+	mux.HandleFunc("GET /v1/debug/bundles/{id}", e.handleBundleGet)
+	mux.HandleFunc("GET /v1/debug/bundles/{id}/{file}", e.handleBundleFile)
 	mux.Handle("GET /metrics", e.MetricsHandler())
 	return e.instrument(mux)
 }
 
-// MetricsHandler serves the Prometheus text exposition alone; cmd/atomiqued
-// also mounts it on the ops listener next to pprof so scrapes need not share
-// the API port.
+// MetricsHandler serves the metrics exposition alone; cmd/atomiqued also
+// mounts it on the ops listener next to pprof so scrapes need not share the
+// API port. Clients that accept application/openmetrics-text get the
+// OpenMetrics form — trace-ID exemplars on histogram buckets and a
+// terminating # EOF — everyone else the classic Prometheus text format.
 func (e *Engine) MetricsHandler() http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.Contains(r.Header.Get("Accept"), "application/openmetrics-text") {
+			w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+			e.tel.registry.WriteOpenMetrics(w) //nolint:errcheck // client gone; nothing to do
+			return
+		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		e.tel.registry.WritePrometheus(w) //nolint:errcheck // client gone; nothing to do
 	})
@@ -414,6 +434,82 @@ func (e *Engine) handleBackends(w http.ResponseWriter, _ *http.Request) {
 
 func (e *Engine) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// sloResponse is the GET /v1/slo payload.
+type sloResponse struct {
+	// Worst is the most severe objective state: ok, warn, or page.
+	Worst      string                `json:"worst"`
+	Objectives []slo.ObjectiveStatus `json:"objectives"`
+}
+
+func (e *Engine) handleSLO(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, sloResponse{
+		Worst:      e.slo.WorstState().String(),
+		Objectives: e.slo.Status(),
+	})
+}
+
+// bundlesDisabled answers for every bundle endpoint when the flight recorder
+// is off (no -bundle-dir).
+func (e *Engine) bundlesDisabled(w http.ResponseWriter) bool {
+	if e.recorder == nil {
+		writeJSON(w, http.StatusNotFound,
+			errorBody{Error: "flight recorder disabled (start with -bundle-dir)"})
+		return true
+	}
+	return false
+}
+
+func (e *Engine) handleBundleList(w http.ResponseWriter, _ *http.Request) {
+	if e.bundlesDisabled(w) {
+		return
+	}
+	writeJSON(w, http.StatusOK, e.recorder.List())
+}
+
+// handleBundleTrigger starts a manual capture (POST /v1/debug/bundles,
+// ?reason=... optional). 202 with the bundle ID when a capture starts; 409
+// when one is already in flight.
+func (e *Engine) handleBundleTrigger(w http.ResponseWriter, r *http.Request) {
+	if e.bundlesDisabled(w) {
+		return
+	}
+	reason := r.URL.Query().Get("reason")
+	if reason == "" {
+		reason = "api"
+	}
+	id, started := e.triggerBundle("manual", reason, true)
+	if !started {
+		writeJSON(w, http.StatusConflict, errorBody{Error: "a bundle capture is already in flight"})
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]string{"id": id})
+}
+
+func (e *Engine) handleBundleGet(w http.ResponseWriter, r *http.Request) {
+	if e.bundlesDisabled(w) {
+		return
+	}
+	meta, ok := e.recorder.Get(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown bundle"})
+		return
+	}
+	writeJSON(w, http.StatusOK, meta)
+}
+
+func (e *Engine) handleBundleFile(w http.ResponseWriter, r *http.Request) {
+	if e.bundlesDisabled(w) {
+		return
+	}
+	p, ok := e.recorder.FilePath(r.PathValue("id"), r.PathValue("file"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown bundle or file"})
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	http.ServeFile(w, r, p)
 }
 
 func (e *Engine) handleStats(w http.ResponseWriter, _ *http.Request) {

@@ -98,6 +98,14 @@ func (e *Engine) AdmissionSample() admission.Snapshot {
 // browsable next to the jobs they shaped.
 func (e *Engine) observeTick(t admission.Tick) {
 	prev := e.admTick.Swap(&t)
+	// A tick that starts shedding is the onset of saturation — capture a
+	// diagnostic bundle while the overload is live (debounced, so a flapping
+	// controller cannot fill the bundle ring).
+	if (t.ShedBatch || t.ShedInteractive) &&
+		(prev == nil || !(prev.ShedBatch || prev.ShedInteractive)) {
+		e.triggerBundle("saturation",
+			fmt.Sprintf("shedding (saturation %.2f, workers %d)", t.Saturation, t.Target), false)
+	}
 	if prev != nil && prev.Target == t.Target &&
 		prev.ShedBatch == t.ShedBatch && prev.ShedInteractive == t.ShedInteractive {
 		return
@@ -192,10 +200,13 @@ func (e *Engine) worker(quit chan struct{}) {
 	}
 }
 
-// recordPanic counts and logs a recovered panic (atomique_panics_total).
+// recordPanic counts and logs a recovered panic (atomique_panics_total) and
+// trips the flight recorder — the goroutine dump in the bundle shows what the
+// rest of the pool was doing when the worker blew up.
 func (e *Engine) recordPanic(where string, r any) {
 	e.panics.Add(1)
 	e.tel.panicsTotal.Inc()
 	e.tel.log.Error("recovered panic", "where", where, "panic", fmt.Sprint(r),
 		"stack", string(debug.Stack()))
+	e.triggerBundle("panic", where+": "+fmt.Sprint(r), false)
 }

@@ -1,0 +1,283 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"atomique/internal/circuit"
+	"atomique/internal/compiler"
+	"atomique/internal/obs"
+	"atomique/internal/obs/slo"
+)
+
+// TestSLOEndpointAndStats: every engine serves /v1/slo out of the box — the
+// default config declares availability + latency objectives per request
+// class — and /v1/stats embeds the same evaluation.
+func TestSLOEndpointAndStats(t *testing.T) {
+	e, srv := newTestServer(t, Config{Workers: 2})
+	if resp, body := postJSON(t, srv.URL+"/v1/compile", Request{Benchmark: "H2-4", Seed: 1}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("compile status = %d, body %s", resp.StatusCode, body)
+	}
+	e.slo.Tick() // fold the finished request into the evaluation now
+
+	var sr sloResponse
+	if resp := getJSON(t, srv.URL+"/v1/slo", &sr); resp.StatusCode != http.StatusOK {
+		t.Fatalf("slo status = %d", resp.StatusCode)
+	}
+	if sr.Worst != "ok" {
+		t.Errorf("worst = %q, want ok", sr.Worst)
+	}
+	if len(sr.Objectives) != 6 { // 3 classes x (availability, latency)
+		t.Fatalf("objectives = %d, want 6", len(sr.Objectives))
+	}
+	byName := map[string]slo.ObjectiveStatus{}
+	for _, o := range sr.Objectives {
+		byName[o.Name] = o
+	}
+	avail, ok := byName["compile-availability"]
+	if !ok {
+		t.Fatalf("compile-availability missing: %+v", byName)
+	}
+	if avail.State != "ok" || avail.Good < 1 || avail.Total < 1 {
+		t.Errorf("compile-availability = %+v, want ok with traffic", avail)
+	}
+	if lat := byName["compile-latency"]; lat.Kind != "latency" || lat.LatencySeconds <= 0 {
+		t.Errorf("compile-latency = %+v, want latency kind with threshold", lat)
+	}
+
+	st := e.Stats()
+	if len(st.SLO) != 6 || st.SLOWorst != "ok" {
+		t.Errorf("stats slo block wrong: worst=%q len=%d", st.SLOWorst, len(st.SLO))
+	}
+	if st.Traces.Adds == 0 || st.Traces.Stored == 0 {
+		t.Errorf("stats traces block empty: %+v", st.Traces)
+	}
+	if st.Bundles != -1 {
+		t.Errorf("bundles = %d without a recorder, want -1", st.Bundles)
+	}
+}
+
+// TestSLOPagesTripRecorder: a storm of failures drives the availability
+// objective to page, and the page transition trips the flight recorder.
+func TestSLOPagesTripRecorder(t *testing.T) {
+	fail := errors.New("backend down")
+	e := newEngine(Config{Workers: 2, Bundles: BundleConfig{
+		Dir: t.TempDir(), CPUProfile: 20 * time.Millisecond,
+	}, SLO: slo.Config{IntervalSeconds: 3600, Objectives: []slo.Objective{{
+		// A huge interval keeps the engine's own ticker out of the test;
+		// Ticks below drive evaluation deterministically.
+		Name: "compile-availability", Class: ClassCompile, Target: 0.99,
+	}}}}, func(context.Context, compiler.Backend, compiler.Target, *circuit.Circuit, compiler.Options) (*compiler.Result, error) {
+		return nil, fail
+	})
+	defer e.Close()
+	for i := 0; i < 10; i++ {
+		j, err := e.Compile(context.Background(), Request{Benchmark: "H2-4", Seed: int64(i)})
+		if err != nil || j.State != StateFailed {
+			t.Fatalf("job %d: %+v err=%v, want failed", i, j, err)
+		}
+	}
+	e.slo.Tick() // 100% failures against a 1% budget: both page windows fire
+	if got := e.slo.WorstState(); got != slo.StatePage {
+		t.Fatalf("state after failure storm = %v, want page", got)
+	}
+	e.recorder.Wait()
+	bundles := e.recorder.List()
+	if len(bundles) == 0 || bundles[0].Trigger != "slo-page" {
+		t.Fatalf("page transition captured no slo-page bundle: %+v", bundles)
+	}
+	// The failed jobs were pinned, so the bundle's trace snapshot has them.
+	if pinned := e.tel.traces.Pinned(); len(pinned) == 0 {
+		t.Error("failure storm left no pinned traces")
+	}
+	if st := e.tel.traces.Stats(); st.Pins != 10 {
+		t.Errorf("pins = %d, want 10", st.Pins)
+	}
+}
+
+// TestBundleEndpoints: manual trigger over HTTP, manifest browsing, file
+// download, and the disabled-recorder 404.
+func TestBundleEndpoints(t *testing.T) {
+	e := New(Config{Workers: 1, Bundles: BundleConfig{
+		Dir: t.TempDir(), CPUProfile: 20 * time.Millisecond,
+	}})
+	srv := httptest.NewServer(e.Handler())
+	t.Cleanup(func() { srv.Close(); e.Close() })
+
+	resp, body := postJSON(t, srv.URL+"/v1/debug/bundles?reason=drill", struct{}{})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("trigger status = %d, body %s", resp.StatusCode, body)
+	}
+	var created struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(body, &created); err != nil || created.ID == "" {
+		t.Fatalf("trigger response %s: %v", body, err)
+	}
+	e.recorder.Wait()
+
+	var list []obs.BundleMeta
+	if resp := getJSON(t, srv.URL+"/v1/debug/bundles", &list); resp.StatusCode != http.StatusOK {
+		t.Fatalf("list status = %d", resp.StatusCode)
+	}
+	if len(list) != 1 || list[0].ID != created.ID || !list[0].Complete {
+		t.Fatalf("bundle list wrong: %+v", list)
+	}
+	var meta obs.BundleMeta
+	if resp := getJSON(t, srv.URL+"/v1/debug/bundles/"+created.ID, &meta); resp.StatusCode != http.StatusOK {
+		t.Fatalf("get status = %d", resp.StatusCode)
+	}
+	wantFiles := map[string]bool{"cpu.pprof": false, "goroutine.pprof": false,
+		"heap.pprof": false, "traces.json": false, "admission.json": false,
+		"stats.json": false, "config.json": false, "metrics.prom": false}
+	for _, f := range meta.Files {
+		if _, want := wantFiles[f.Name]; want {
+			wantFiles[f.Name] = f.Bytes > 0 && f.Error == ""
+		}
+	}
+	for name, good := range wantFiles {
+		if !good {
+			t.Errorf("bundle file %s missing, empty, or errored: %+v", name, meta.Files)
+		}
+	}
+	// The captured metrics dump is itself valid OpenMetrics.
+	mresp, err := http.Get(srv.URL + "/v1/debug/bundles/" + created.ID + "/metrics.prom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if mresp.StatusCode != http.StatusOK {
+		t.Fatalf("file status = %d", mresp.StatusCode)
+	}
+	if _, err := obs.ParseExposition(bytes.NewReader(raw)); err != nil {
+		t.Errorf("bundled metrics.prom invalid: %v", err)
+	}
+	if resp := getJSON(t, srv.URL+"/v1/debug/bundles/nope", nil); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown bundle status = %d, want 404", resp.StatusCode)
+	}
+
+	// Without -bundle-dir every bundle endpoint is a 404.
+	_, srv2 := newTestServer(t, Config{Workers: 1})
+	if resp := getJSON(t, srv2.URL+"/v1/debug/bundles", nil); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("disabled recorder list status = %d, want 404", resp.StatusCode)
+	}
+	if resp, _ := postJSON(t, srv2.URL+"/v1/debug/bundles", struct{}{}); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("disabled recorder trigger status = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestOpenMetricsNegotiation: an Accept header asking for OpenMetrics gets
+// exemplars and # EOF; the default scrape stays classic Prometheus text.
+// Both forms must satisfy the strict parser.
+func TestOpenMetricsNegotiation(t *testing.T) {
+	_, srv := newTestServer(t, Config{Workers: 2})
+	if resp, body := postJSON(t, srv.URL+"/v1/compile", Request{Benchmark: "H2-4", Seed: 1}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("compile status = %d, body %s", resp.StatusCode, body)
+	}
+
+	req, err := http.NewRequest(http.MethodGet, srv.URL+"/metrics", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", "application/openmetrics-text; version=1.0.0")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/openmetrics-text") {
+		t.Errorf("negotiated content type = %q", ct)
+	}
+	out := string(body)
+	if !strings.Contains(out, `# {trace_id="`) {
+		t.Errorf("OpenMetrics scrape carries no exemplar:\n%s", out)
+	}
+	if !strings.HasSuffix(strings.TrimRight(out, "\n"), "# EOF") {
+		t.Error("OpenMetrics scrape must end with # EOF")
+	}
+	if _, err := obs.ParseExposition(bytes.NewReader(body)); err != nil {
+		t.Fatalf("OpenMetrics scrape invalid: %v", err)
+	}
+	for _, want := range []string{
+		"atomique_traces_pinned", `atomique_traces_evicted_total{segment="sampled"}`,
+		`atomique_traces_evicted_total{segment="pinned"}`, "atomique_traces_sampled_out_total",
+		`atomique_slo_state{objective="compile-availability"}`,
+		`atomique_slo_burn_rate{objective="compile-latency",window="pageShort"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("scrape missing %q", want)
+		}
+	}
+
+	// Plain scrape: classic exposition, no OpenMetrics extensions.
+	plain, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pbody, _ := io.ReadAll(plain.Body)
+	plain.Body.Close()
+	if strings.Contains(string(pbody), "trace_id") || strings.Contains(string(pbody), "# EOF") {
+		t.Error("classic scrape must not carry OpenMetrics extensions")
+	}
+	if _, err := obs.ParseExposition(bytes.NewReader(pbody)); err != nil {
+		t.Fatalf("classic scrape invalid: %v", err)
+	}
+}
+
+// TestShedMintsPinnedTrace: an admission shed leaves a root-only pinned
+// trace carrying the shed reason — evidence that survives success storms.
+func TestShedMintsPinnedTrace(t *testing.T) {
+	backend := newBlockingBackend()
+	e := newEngine(Config{Workers: 1, QueueSize: 1}, backend.compile)
+	defer e.Close()
+	defer close(backend.release)
+
+	if _, err := e.Submit(context.Background(), Request{Benchmark: "H2-4", Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	<-backend.started
+	if _, err := e.Submit(context.Background(), Request{Benchmark: "H2-4", Seed: 2}); err != nil {
+		t.Fatal(err)
+	}
+	// Queue full: the rejection is dropped through dropJob, which pins.
+	if _, err := e.Submit(context.Background(), Request{Benchmark: "H2-4", Seed: 3}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("err = %v, want queue full", err)
+	}
+	pinned := e.tel.traces.Pinned()
+	if len(pinned) == 0 {
+		t.Fatal("queue-full rejection left no pinned trace")
+	}
+	if st := pinned[0].Root.Snapshot().Attrs["state"]; st != "rejected" {
+		t.Errorf("pinned trace state = %q, want rejected", st)
+	}
+	if st := e.tel.traces.Stats(); st.Pins == 0 {
+		t.Errorf("trace stats count no pins: %+v", st)
+	}
+}
+
+// TestTraceSampleDropsFastSuccesses: with a negative TraceSample (keep
+// nothing), successful traces are sampled out while rejections stay pinned.
+func TestTraceSampleDropsFastSuccesses(t *testing.T) {
+	e := New(Config{Workers: 1, TraceSample: -1})
+	defer e.Close()
+	for i := 0; i < 3; i++ {
+		j, err := e.Compile(context.Background(), Request{Benchmark: "H2-4", Seed: int64(i)})
+		if err != nil || j.State != StateDone {
+			t.Fatalf("job %d: %+v err=%v", i, j, err)
+		}
+	}
+	st := e.tel.traces.Stats()
+	if st.SampledOut != 3 || st.Stored != 0 {
+		t.Errorf("stats = %+v, want 3 sampled out, 0 stored", st)
+	}
+}

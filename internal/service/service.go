@@ -33,6 +33,7 @@ import (
 	"atomique/internal/metrics"
 	"atomique/internal/noise"
 	"atomique/internal/obs"
+	"atomique/internal/obs/slo"
 	"atomique/internal/qasm"
 	"atomique/internal/report"
 
@@ -107,8 +108,21 @@ type Config struct {
 	// (default: hardware.DefaultConfig).
 	Hardware hardware.Config
 	// TraceBuffer bounds the finished-trace ring buffer behind GET
-	// /v1/traces (default: 256).
+	// /v1/traces (default: 256). A quarter of it (at least one slot) is
+	// reserved for pinned traces — errors, sheds, and slow-tail outliers —
+	// which ordinary churn cannot evict.
 	TraceBuffer int
+	// TraceSample is the probability a fast successful trace enters the ring
+	// (0 defaults to 1 — keep everything; negative keeps nothing). Pinned
+	// traces always bypass the coin.
+	TraceSample float64
+	// SLO declares the burn-rate objectives evaluated against the engine's
+	// own counters; an empty config gets slo.DefaultConfig over the three
+	// request classes. Invalid configs must be caught by the loader
+	// (slo.ParseConfig); New panics on one.
+	SLO slo.Config
+	// Bundles configures the flight recorder; an empty Dir disables it.
+	Bundles BundleConfig
 	// Logger receives structured job-lifecycle events, correlated by trace
 	// ID (default: discard). cmd/atomiqued passes a JSON logger here.
 	Logger *slog.Logger
@@ -145,6 +159,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.TraceBuffer <= 0 {
 		c.TraceBuffer = 256
+	}
+	switch {
+	case c.TraceSample == 0:
+		c.TraceSample = 1
+	case c.TraceSample < 0:
+		c.TraceSample = 0
 	}
 	// Only a fully zero Hardware gets the paper default; a non-zero but
 	// invalid machine (e.g. an SLM with no AODs) is kept and rejected loudly
@@ -332,6 +352,16 @@ type Stats struct {
 	// (e.g. "atomique/compile"): count, sum, and p50/p90/p99 estimated from
 	// the same log-bucketed histograms GET /metrics exposes.
 	Latencies map[string]obs.Quantiles `json:"latencies,omitempty"`
+	// Traces reports the tiered trace ring: adds, pins, sampling drops, and
+	// per-segment evictions.
+	Traces obs.TraceStoreStats `json:"traces"`
+	// SLO is every objective's burn-rate evaluation (the GET /v1/slo
+	// payload) and SLOWorst the most severe state across them.
+	SLO      []slo.ObjectiveStatus `json:"slo,omitempty"`
+	SLOWorst string                `json:"sloWorst,omitempty"`
+	// Bundles counts diagnostic bundles held by the flight recorder; -1
+	// when the recorder is disabled.
+	Bundles int `json:"bundles"`
 }
 
 // AdmissionStats is the /v1/stats view of the admission controller: the
@@ -367,6 +397,11 @@ func defaultCompile(ctx context.Context, b compiler.Backend, tgt compiler.Target
 // maxTrackedJobs bounds the finished-job history kept for GET /v1/jobs/{id}.
 const maxTrackedJobs = 4096
 
+// slowTailMinSamples is the histogram mass required before a success is
+// compared to the class p99 for slow-tail trace pinning; with fewer samples
+// the estimate is noise and every other job would "exceed" it.
+const slowTailMinSamples = 100
+
 // Engine is the compile service: priority queues, an adaptive worker pool,
 // cache, job registry, and the admission control loop.
 type Engine struct {
@@ -400,6 +435,10 @@ type Engine struct {
 	// holds its latest tick for gauges and /v1/stats.
 	ctrl    *admission.Controller
 	admTick atomic.Pointer[admission.Tick]
+	// slo is the burn-rate engine behind GET /v1/slo; recorder is the flight
+	// recorder behind GET /v1/debug/bundles (nil when Bundles.Dir is unset).
+	slo      *slo.Engine
+	recorder *obs.Recorder
 	// shedByClass counts admission sheds per priority class.
 	shedByClass [2]atomic.Uint64
 
@@ -465,7 +504,18 @@ func newEngine(cfg Config, fn compileFunc) *Engine {
 	}
 	e.fpMemo.init(fpMemoLimit)
 	e.tel = newTelemetry(e, cfg.Logger, cfg.TraceBuffer)
+	e.tel.traces.SetSampleRate(cfg.TraceSample)
 	e.benchInfos = computeBenchmarkInfos()
+	if cfg.Bundles.Dir != "" {
+		rec, err := newRecorder(e)
+		if err != nil {
+			// A broken bundle directory degrades to "recorder disabled"
+			// rather than refusing to serve compiles.
+			e.tel.log.Error("flight recorder disabled", "dir", cfg.Bundles.Dir, "error", err.Error())
+		} else {
+			e.recorder = rec
+		}
+	}
 	e.poolMu.Lock()
 	e.workersTarget.Store(int64(cfg.Workers))
 	e.spawnLocked(cfg.Workers)
@@ -474,6 +524,7 @@ func newEngine(cfg Config, fn compileFunc) *Engine {
 		e.ctrl = admission.New(cfg.Admission, e, e, e.observeTick)
 		e.ctrl.Start()
 	}
+	e.startSLO()
 	return e
 }
 
@@ -501,6 +552,9 @@ func (e *Engine) Close() {
 	if e.ctrl != nil {
 		e.ctrl.Stop() // no more Resize calls from the control loop
 	}
+	if e.slo != nil {
+		e.slo.Stop() // no more evaluation ticks or recorder triggers
+	}
 	// Let any in-flight Resize finish its spawns before waiting on the
 	// pool; later Resize calls observe closed and no-op.
 	e.poolMu.Lock()
@@ -519,6 +573,9 @@ func (e *Engine) Close() {
 				drained = true
 			}
 		}
+	}
+	if e.recorder != nil {
+		e.recorder.Wait() // let an in-flight bundle capture complete
 	}
 }
 
@@ -849,14 +906,25 @@ func (e *Engine) submitResolved(ctx context.Context, t task) (*job, error) {
 		return nil, ErrClosed
 	}
 	defer e.inFlight.Done()
-	// Admission gate: shed before the queue saturates. No job or trace is
-	// minted for a shed — only the decision counter and the controller's
-	// tick trace record it — so shed storms cost almost nothing.
+	// Admission gate: shed before the queue saturates. No job is minted for
+	// a shed, but a minimal root-only trace is pinned into the ring's
+	// reserved segment — shed storms are exactly the traffic a diagnostic
+	// bundle needs to show, and a storm of successes must not evict them.
 	if dec := e.admit(t.prio); !dec.Admit {
 		e.rejected.Add(1)
 		e.shedByClass[t.prio].Add(1)
 		e.tel.admissionDecisions.With(t.prio.String(), admissionShed).Inc()
 		e.tel.requests.With(backendLabel(t), t.class, outcomeRejected).Inc()
+		tr := obs.NewTrace(obs.TraceIDFromContext(ctx), "shed")
+		tr.Root.SetAttr("state", "shed")
+		tr.Root.SetAttr("backend", backendLabel(t))
+		tr.Root.SetAttr("class", t.class)
+		tr.Root.SetAttr("priority", t.prio.String())
+		tr.Root.SetAttr("benchmark", t.label)
+		tr.Root.SetAttr("reason", dec.Reason)
+		tr.Root.SetAttr("retryAfterSeconds", strconv.FormatFloat(dec.RetryAfter.Seconds(), 'g', 4, 64))
+		tr.Root.End()
+		e.tel.traces.AddPinned(tr)
 		e.tel.log.Warn("job shed by admission control",
 			"backend", backendLabel(t), "class", t.class, "priority", t.prio.String(),
 			"benchmark", t.label, "retryAfter", dec.RetryAfter.Seconds())
@@ -925,12 +993,13 @@ func (e *Engine) submitBlocking(ctx context.Context, t task) (*job, error) {
 }
 
 // dropJob unregisters a job that never entered a queue, closing out its
-// trace into the ring so rejected traffic stays visible to GET /v1/traces.
+// trace into the ring's pinned segment: rejections are overload evidence,
+// which a flood of ordinary successes must not evict.
 func (e *Engine) dropJob(j *job, state string) {
 	j.cancel()
 	j.trace.Root.SetAttr("state", state)
 	j.trace.Root.End()
-	e.tel.traces.Add(j.trace)
+	e.tel.traces.AddPinned(j.trace)
 	e.mu.Lock()
 	delete(e.jobs, j.id)
 	e.mu.Unlock()
@@ -1076,8 +1145,17 @@ func (e *Engine) Stats() Stats {
 		CacheMisses:           e.misses.Load(),
 		CacheEntries:          e.cache.len(),
 		UptimeSeconds:         time.Since(e.start).Seconds(),
+		Traces:                e.tel.traces.Stats(),
+		Bundles:               -1,
 	}
 	st.QueueDepth = st.QueueDepthInteractive + st.QueueDepthBatch
+	if e.slo != nil {
+		st.SLO = e.slo.Status()
+		st.SLOWorst = e.slo.WorstState().String()
+	}
+	if e.recorder != nil {
+		st.Bundles = len(e.recorder.List())
+	}
 	if e.ctrl != nil {
 		t := e.ctrl.Last()
 		st.Admission = &AdmissionStats{
@@ -1114,7 +1192,7 @@ func (e *Engine) run(j *job) {
 	j.state = StateRunning
 	waited := time.Since(j.submitted)
 	j.mu.Unlock()
-	e.tel.queueWait.Observe(waited.Seconds())
+	e.tel.queueWait.ObserveExemplar(waited.Seconds(), j.trace.ID)
 	j.trace.Root.Record("queue.wait", j.submitted, waited)
 	e.busy.Add(1)
 	start := time.Now()
@@ -1305,7 +1383,11 @@ func (e *Engine) finish(j *job, out *outcome, cached bool) {
 
 	// Close out the trace and publish the observability record: outcome
 	// counter, latency histogram (successes only — cancellations would skew
-	// the percentiles the autoscaler feeds on), trace ring, log line.
+	// the percentiles the autoscaler feeds on, carrying this job's trace ID
+	// as an OpenMetrics exemplar), trace ring, log line. Retention is
+	// tiered: failures and slow-tail successes (over the class's current
+	// p99, once the histogram has enough mass to trust it) pin into the
+	// ring's reserved segment; ordinary successes take the sampling coin.
 	outcomeLabel := outcomeDone
 	switch state {
 	case StateFailed:
@@ -1314,14 +1396,27 @@ func (e *Engine) finish(j *job, out *outcome, cached bool) {
 		outcomeLabel = outcomeCancelled
 	}
 	backend := backendLabel(j.task)
+	pin := state == StateFailed
+	if state == StateDone {
+		// Snapshot before observing so the job is not compared to a p99 that
+		// already includes it.
+		hist := e.tel.latency.With(backend, j.task.class)
+		if snap := hist.Snapshot(); snap.Count >= slowTailMinSamples &&
+			elapsed.Seconds() > snap.Quantile(0.99) {
+			pin = true
+			j.trace.Root.SetAttr("slowTail", "over-p99")
+		}
+		hist.ObserveExemplar(elapsed.Seconds(), j.trace.ID)
+	}
 	j.trace.Root.SetAttr("state", string(state))
 	j.trace.Root.SetAttr("cached", strconv.FormatBool(cached))
 	j.trace.Root.End()
-	e.tel.traces.Add(j.trace)
-	e.tel.requests.With(backend, j.task.class, outcomeLabel).Inc()
-	if state == StateDone {
-		e.tel.latency.With(backend, j.task.class).Observe(elapsed.Seconds())
+	if pin {
+		e.tel.traces.AddPinned(j.trace)
+	} else {
+		e.tel.traces.Add(j.trace)
 	}
+	e.tel.requests.With(backend, j.task.class, outcomeLabel).Inc()
 	if out.err != nil {
 		e.logJob(j, "job finished", "state", state, "seconds", elapsed.Seconds(),
 			"cached", cached, "error", out.err.Error())

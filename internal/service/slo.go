@@ -1,0 +1,68 @@
+package service
+
+import (
+	"atomique/internal/obs"
+	"atomique/internal/obs/slo"
+)
+
+// sloTotals adapts the engine's own telemetry into the burn-rate engine's
+// cumulative (good, total) feed. Availability objectives count finished
+// requests of the class: done is good; failed and rejected (shed or queue
+// full) burn budget; cancellations are the client's choice and count for
+// neither. Latency objectives read the class's latency histograms: good is
+// the bucket mass at or under the threshold, total is everything observed.
+// Both walk every backend label, so the objective spans the fleet of
+// backends serving the class.
+func (e *Engine) sloTotals() slo.TotalsFunc {
+	return func(o slo.Objective) (good, total float64) {
+		if o.LatencySeconds > 0 {
+			e.tel.latency.Each(func(labels []string, h *obs.Histogram) {
+				if labels[1] != o.Class {
+					return
+				}
+				s := h.Snapshot()
+				good += float64(s.CountLE(o.LatencySeconds))
+				total += float64(s.Count)
+			})
+			return good, total
+		}
+		e.tel.requests.Each(func(labels []string, c *obs.Counter) {
+			if labels[1] != o.Class {
+				return
+			}
+			v := c.Value()
+			switch labels[2] {
+			case outcomeDone:
+				good += v
+				total += v
+			case outcomeFailed, outcomeRejected:
+				total += v
+			}
+		})
+		return good, total
+	}
+}
+
+// onSLOEvent reacts to burn-rate state transitions: every transition is
+// logged, and a transition into page trips the flight recorder — the bundle
+// captures the incident while it is still burning.
+func (e *Engine) onSLOEvent(ev slo.Event) {
+	e.tel.log.Warn("slo state change", "objective", ev.Objective, "class", ev.Class,
+		"from", ev.From.String(), "to", ev.To.String(), "reason", ev.Reason)
+	if ev.To == slo.StatePage {
+		e.triggerBundle("slo-page", ev.Objective+": "+ev.Reason, false)
+	}
+}
+
+// startSLO builds, registers, and starts the burn-rate engine. An empty
+// config gets the default per-class objectives, so every engine serves
+// /v1/slo out of the box.
+func (e *Engine) startSLO() {
+	cfg := e.cfg.SLO
+	if len(cfg.Objectives) == 0 {
+		cfg = slo.DefaultConfig([]string{ClassCompile, ClassSimulate, ClassSample})
+	}
+	e.slo = slo.New(cfg, e.sloTotals(), slo.WithOnEvent(e.onSLOEvent))
+	e.slo.Register(e.tel.registry)
+	e.slo.Start()
+}

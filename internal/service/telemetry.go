@@ -188,6 +188,16 @@ func newTelemetry(e *Engine, logger *slog.Logger, traceBuffer int) *telemetry {
 	r.GaugeFunc("atomique_traces_stored",
 		"Finished traces held in the /v1/traces ring buffer.",
 		func() float64 { return float64(t.traces.Len()) })
+	r.GaugeFunc("atomique_traces_pinned",
+		"Traces held in the ring's reserved segment (errors, sheds, slow-tail outliers).",
+		func() float64 { return float64(t.traces.Stats().PinnedStored) })
+	evicted := r.CounterFuncVec("atomique_traces_evicted_total",
+		"Traces aged out of the ring, by segment (sampled or pinned).", "segment")
+	evicted.Register(func() float64 { return float64(t.traces.Stats().EvictedSampled) }, "sampled")
+	evicted.Register(func() float64 { return float64(t.traces.Stats().EvictedPinned) }, "pinned")
+	r.CounterFunc("atomique_traces_sampled_out_total",
+		"Fast successful traces dropped by the sampling coin before storage.",
+		func() float64 { return float64(t.traces.Stats().SampledOut) })
 	r.GaugeFunc("atomique_uptime_seconds",
 		"Seconds since the engine started.",
 		func() float64 { return time.Since(e.start).Seconds() })
